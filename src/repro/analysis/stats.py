@@ -1,0 +1,55 @@
+"""Small statistics helpers for time-series reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def windowed_average(times, values, window: float) -> tuple[np.ndarray, np.ndarray]:
+    """Average *values* into fixed *window*-second bins.
+
+    This is how the paper turns per-sample throughput into 10-minute
+    (Figs 2-3) or 1-minute (Fig 10) averages.
+    """
+    if window <= 0:
+        raise ConfigError("window must be positive")
+    t = np.asarray(times, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.size == 0:
+        return np.empty(0), np.empty(0)
+    bins = (t / window).astype(np.int64)
+    unique_bins = np.unique(bins)
+    out_t = (unique_bins + 0.5) * window
+    out_v = np.array([v[bins == b].mean() for b in unique_bins])
+    return out_t, out_v
+
+
+def coefficient_of_variation(values) -> float:
+    """Std/mean — the paper's throughput-variability comparison
+    (Fig 10) in one number."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return 0.0
+    mean = v.mean()
+    if mean == 0:
+        return 0.0
+    return float(v.std() / mean)
+
+
+def relative_swing(values) -> float:
+    """(max - min) / mean: the "throughput swings of 100%" metric."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0 or v.mean() == 0:
+        return 0.0
+    return float((v.max() - v.min()) / v.mean())
+
+
+def fraction_below(values, threshold: float) -> float:
+    """Fraction of samples below a threshold (e.g. stall windows with
+    near-zero application throughput on SSD2, Fig 10a)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return 0.0
+    return float((v < threshold).mean())

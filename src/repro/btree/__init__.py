@@ -1,0 +1,9 @@
+"""B+Tree key-value engine (the WiredTiger model)."""
+
+from repro.btree.cache import PageCache
+from repro.btree.config import BTreeConfig
+from repro.btree.node import InternalNode, LeafNode
+from repro.btree.pager import Pager
+from repro.btree.store import BTreeStore
+
+__all__ = ["BTreeConfig", "BTreeStore", "InternalNode", "LeafNode", "PageCache", "Pager"]

@@ -1,0 +1,144 @@
+"""B+Tree nodes (§2.1.2).
+
+Leaf nodes hold key-value data; internal nodes hold separator keys and
+child pointers used to route requests.  Nodes are in-memory objects —
+the simulated filesystem stores byte counts, and the pager/cache layer
+decides which leaf pages are "resident" and charges device I/O for
+misses and reconciliations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.btree.config import BTreeConfig
+
+
+class LeafNode:
+    """A leaf page: sorted keys with (seed, length) value descriptors."""
+
+    __slots__ = ("keys", "vseeds", "vlens", "nbytes", "dirty", "slot", "next_leaf")
+
+    def __init__(self):
+        self.keys: list[int] = []
+        self.vseeds: list[int] = []
+        self.vlens: list[int] = []
+        self.nbytes = 0  # serialized size, maintained incrementally
+        self.dirty = False
+        self.slot = -1  # page slot in the tree file; -1 = never written
+        self.next_leaf: "LeafNode | None" = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def find(self, key: int) -> int:
+        """Index of *key*, or -1."""
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return idx
+        return -1
+
+    def upsert(self, key: int, vseed: int, vlen: int, config: BTreeConfig) -> None:
+        """Insert or update an entry, maintaining the size accounting."""
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            self.nbytes += vlen - self.vlens[idx]
+            self.vseeds[idx] = vseed
+            self.vlens[idx] = vlen
+        else:
+            self.keys.insert(idx, key)
+            self.vseeds.insert(idx, vseed)
+            self.vlens.insert(idx, vlen)
+            self.nbytes += config.leaf_entry_bytes(vlen)
+        self.dirty = True
+
+    def remove(self, key: int, config: BTreeConfig) -> bool:
+        """Delete an entry; returns whether the key existed."""
+        idx = self.find(key)
+        if idx < 0:
+            return False
+        self.nbytes -= config.leaf_entry_bytes(self.vlens[idx])
+        del self.keys[idx]
+        del self.vseeds[idx]
+        del self.vlens[idx]
+        self.dirty = True
+        return True
+
+    def split(self, config: BTreeConfig, appending: bool) -> "LeafNode":
+        """Split this leaf, returning the new right sibling.
+
+        *appending* indicates the triggering insert went to the end of
+        the leaf (a sequential load): in that case the split point is
+        ``fill_factor`` of the page so bulk-loaded leaves stay nearly
+        full — the behaviour behind WiredTiger's low space
+        amplification (§4.5).
+        """
+        if appending:
+            # Keep the left page at the fill-factor target.
+            budget = int(config.leaf_page_bytes * config.fill_factor)
+            cut = len(self.keys) - 1
+            size = self.nbytes
+            while cut > 1 and size > budget:
+                size -= config.leaf_entry_bytes(self.vlens[cut])
+                cut -= 1
+            cut = max(1, cut)
+        else:
+            cut = len(self.keys) // 2
+        right = LeafNode()
+        right.keys = self.keys[cut:]
+        right.vseeds = self.vseeds[cut:]
+        right.vlens = self.vlens[cut:]
+        right.nbytes = sum(config.leaf_entry_bytes(v) for v in right.vlens)
+        right.dirty = True
+        del self.keys[cut:]
+        del self.vseeds[cut:]
+        del self.vlens[cut:]
+        self.nbytes -= right.nbytes
+        self.dirty = True
+        right.next_leaf = self.next_leaf
+        self.next_leaf = right
+        return right
+
+
+class InternalNode:
+    """An internal page: separators routing to child nodes.
+
+    ``children[i]`` covers keys < ``keys[i]``; ``children[-1]`` covers
+    the rest (the classic B+Tree layout).
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: list[int] | None = None, children: list | None = None):
+        self.keys: list[int] = keys or []
+        self.children: list = children or []
+
+    def child_index(self, key: int) -> int:
+        """Index of the child responsible for *key*."""
+        return bisect_right(self.keys, key)
+
+    def insert_child(self, separator: int, right_child) -> None:
+        """Register *right_child* for keys >= separator."""
+        idx = bisect_right(self.keys, separator)
+        self.keys.insert(idx, separator)
+        self.children.insert(idx + 1, right_child)
+
+    def remove_child(self, child) -> None:
+        """Unregister an (empty) child and its separator."""
+        idx = self.children.index(child)
+        del self.children[idx]
+        if not self.keys:
+            return
+        del self.keys[max(0, idx - 1)]
+
+    def split(self) -> tuple[int, "InternalNode"]:
+        """Split, returning (promoted separator, right sibling)."""
+        mid = len(self.keys) // 2
+        separator = self.keys[mid]
+        right = InternalNode(self.keys[mid + 1 :], self.children[mid + 1 :])
+        del self.keys[mid:]
+        del self.children[mid + 1 :]
+        return separator, right
+
+    def __len__(self) -> int:
+        return len(self.children)

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+``repro figures``                list the reproducible paper figures
+``repro run-figure fig5``        reproduce one figure and print its rows
+``repro run --engine lsm ...``   run a single custom experiment
+``repro pitfalls``               print the seven-pitfall checklist
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiment import Engine, ExperimentSpec, run_experiment
+from repro.core.figures import FIGURES, SCALES
+from repro.core.pitfalls import PITFALLS, EvaluationPlan, check_plan, render_report
+from repro.core.report import render_series
+from repro.flash.state import DriveState
+from repro.units import MIB
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Toward a Better Understanding and Evaluation of "
+            "Tree Structures on Flash SSDs' (VLDB 2020)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    figures = sub.add_parser("figures", help="list reproducible figures")
+    figures.set_defaults(func=_cmd_figures)
+
+    run_figure = sub.add_parser("run-figure", help="reproduce one paper figure")
+    run_figure.add_argument("figure", choices=sorted(FIGURES))
+    run_figure.add_argument("--scale", choices=sorted(SCALES), default="default")
+    run_figure.add_argument("--out", help="also write the rendered text to a file")
+    run_figure.set_defaults(func=_cmd_run_figure)
+
+    run = sub.add_parser("run", help="run a single custom experiment")
+    run.add_argument("--engine", choices=[e.value for e in Engine], default="lsm")
+    run.add_argument("--ssd", choices=["ssd1", "ssd2", "ssd3"], default="ssd1")
+    run.add_argument("--state", choices=[s.value for s in DriveState],
+                     default="trimmed")
+    run.add_argument("--capacity-mib", type=int, default=128)
+    run.add_argument("--dataset-fraction", type=float, default=0.5)
+    run.add_argument("--value-bytes", type=int, default=4000)
+    run.add_argument("--read-fraction", type=float, default=0.0)
+    run.add_argument("--op-reserved", type=float, default=0.0)
+    run.add_argument("--duration", type=float, default=3.5,
+                     help="stop after host writes reach DURATION x capacity")
+    run.add_argument("--seed", type=int, default=0xD1D0)
+    run.set_defaults(func=_cmd_run)
+
+    pitfalls = sub.add_parser("pitfalls", help="print the 7-pitfall checklist")
+    pitfalls.set_defaults(func=_cmd_pitfalls)
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    for name in sorted(FIGURES):
+        print(f"{name:7s} {FIGURES[name].__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def _cmd_run_figure(args) -> int:
+    figure = FIGURES[args.figure](SCALES[args.scale])
+    print(figure.text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(figure.text + "\n")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = ExperimentSpec(
+        engine=Engine(args.engine),
+        ssd=args.ssd,
+        drive_state=DriveState(args.state),
+        capacity_bytes=args.capacity_mib * MIB,
+        dataset_fraction=args.dataset_fraction,
+        value_bytes=args.value_bytes,
+        read_fraction=args.read_fraction,
+        op_reserved_fraction=args.op_reserved,
+        duration_capacity_writes=args.duration,
+        seed=args.seed,
+    )
+    result = run_experiment(spec)
+    rows = [
+        [f"{s.t:.2f}", f"{s.kv_tput:.0f}", f"{s.dev_write_mbps:.0f}",
+         f"{s.dev_read_mbps:.0f}", f"{s.wa_a:.1f}", f"{s.wa_d:.2f}",
+         f"{s.space_amp:.2f}"]
+        for s in result.samples
+    ]
+    print(render_series(
+        f"{args.engine} on {args.ssd} ({args.state})",
+        ["t(s)", "ops/s", "devW MB/s", "devR MB/s", "WA-A", "WA-D", "space amp"],
+        rows,
+    ))
+    if result.out_of_space:
+        print("RUN ENDED: out of space")
+    if result.steady:
+        steady = result.steady
+        print(
+            f"steady state ({'CUSUM' if steady.detected else 'tail fallback'}): "
+            f"{steady.kv_tput:.0f} ops/s, WA-A={steady.wa_a:.1f}, "
+            f"WA-D={steady.wa_d:.2f}, end-to-end WA="
+            f"{steady.wa_a * steady.wa_d:.1f}, space amp={steady.space_amp:.2f}"
+        )
+    return 0
+
+
+def _cmd_pitfalls(args) -> int:
+    print("The seven benchmarking pitfalls (Didona et al., VLDB 2020):")
+    for pid, (title, guideline) in PITFALLS.items():
+        print(f"  {pid}. {title}")
+        print(f"     guideline: {guideline}")
+    print()
+    print("A naive evaluation plan hits all of them:")
+    print(render_report(check_plan(EvaluationPlan())))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

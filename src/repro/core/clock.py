@@ -1,0 +1,42 @@
+"""Virtual clock shared by all simulated components.
+
+The simulation is single-threaded (the paper uses one user thread
+precisely to avoid concurrency effects, see §3.2), so a single
+monotonically increasing clock suffices.  Synchronous work (user-visible
+latency) advances the clock; background device work merely extends the
+device's busy horizon beyond the current time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class VirtualClock:
+    """A monotonically increasing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by *dt* seconds and return the new time."""
+        if dt < 0:
+            raise ConfigError(f"cannot advance clock by negative dt {dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time *t* (no-op if in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,221 @@
+"""Experiment orchestration: the paper's benchmark procedure end to end.
+
+One :class:`ExperimentSpec` describes a full run the way §3 does:
+which engine, which SSD, the initial drive state, the dataset size as
+a fraction of capacity, the workload, optional software
+over-provisioning, and how long to run (by default until cumulative
+host writes reach 3.5x the device capacity — past the §4.1 rule of
+thumb).  :func:`run_experiment` assembles the whole simulated stack,
+loads the dataset sequentially, runs the measured phase with periodic
+sampling, and returns the time series plus a steady-state summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.block.blktrace import BlkTrace
+from repro.block.device import BlockDevice
+from repro.block.iostat import IOStat
+from repro.block.partition import overprovisioned_partition, whole_device_partition
+from repro.btree.config import BTreeConfig
+from repro.btree.store import BTreeStore
+from repro.core.clock import VirtualClock
+from repro.core.metrics import MetricsCollector, Sample
+from repro.core.steady_state import SteadySummary, summarize
+from repro.errors import ConfigError
+from repro.flash.gc import make_policy
+from repro.flash.profiles import get_profile
+from repro.flash.ssd import SSD
+from repro.flash.state import DriveState, apply_drive_state
+from repro.fs.filesystem import ExtentFilesystem
+from repro.lsm.config import LSMConfig
+from repro.lsm.store import LSMStore
+from repro.units import MIB
+from repro.workload.runner import load_sequential, run_workload
+from repro.workload.spec import WorkloadSpec
+
+KEY_BYTES = 16  # the paper's key size (§3.2)
+
+
+class Engine(str, Enum):
+    """Which persistent tree structure to benchmark."""
+
+    LSM = "lsm"
+    BTREE = "btree"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete description of one benchmark run."""
+
+    name: str = "experiment"
+    engine: Engine = Engine.LSM
+    ssd: str = "ssd1"
+    capacity_bytes: int = 128 * MIB
+    drive_state: DriveState = DriveState.TRIMMED
+    dataset_fraction: float = 0.5
+    value_bytes: int = 4000
+    read_fraction: float = 0.0
+    distribution: str = "uniform"
+    op_reserved_fraction: float = 0.0  # software over-provisioning (§4.6)
+    duration_capacity_writes: float = 3.5  # stop after host writes >= x*capacity
+    max_ops: int | None = None
+    sample_interval: float = 0.25
+    seed: int = rng_mod.DEFAULT_SEED
+    fs_strategy: str = "scatter"
+    fs_discard: bool = False
+    gc_policy: str = "greedy"
+    trace_lba: bool = False
+    engine_options: dict = field(default_factory=dict)
+    ssd_options: dict = field(default_factory=dict)  # SSDConfig overrides
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dataset_fraction:
+            raise ConfigError("dataset_fraction must be positive")
+        if self.duration_capacity_writes <= 0:
+            raise ConfigError("duration_capacity_writes must be positive")
+        if self.sample_interval <= 0:
+            raise ConfigError("sample_interval must be positive")
+
+    @property
+    def nkeys(self) -> int:
+        """Keys needed for the dataset to occupy ``dataset_fraction``."""
+        dataset_bytes = self.capacity_bytes * self.dataset_fraction
+        return max(1, int(dataset_bytes / (KEY_BYTES + self.value_bytes)))
+
+    def workload(self) -> WorkloadSpec:
+        """The measured-phase workload this spec describes."""
+        return WorkloadSpec(
+            nkeys=self.nkeys,
+            value_bytes=self.value_bytes,
+            read_fraction=self.read_fraction,
+            distribution=self.distribution,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a run produced."""
+
+    spec: ExperimentSpec
+    samples: list[Sample]
+    steady: SteadySummary | None
+    out_of_space: bool
+    load_seconds: float
+    run_seconds: float
+    ops_issued: int
+    smart: dict[str, Any]
+    peak_disk_utilization: float
+    peak_space_amp: float
+    lba_histogram: np.ndarray | None = None
+    lba_never_written: float | None = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the run finished without running out of space."""
+        return not self.out_of_space
+
+
+def build_stack(spec: ExperimentSpec):
+    """Assemble (clock, ssd, device, partition, fs, store, iostat, trace)
+    for a spec, with the drive already in its initial state."""
+    clock = VirtualClock()
+    profile = get_profile(spec.ssd, spec.capacity_bytes)
+    if spec.ssd_options:
+        profile = replace(profile, **spec.ssd_options)
+    ssd = SSD(profile, clock, make_policy(spec.gc_policy))
+    device = BlockDevice(ssd)
+    iostat = IOStat(device.page_size, bin_seconds=min(0.05, spec.sample_interval / 5))
+    device.attach(iostat)
+    trace = None
+    if spec.trace_lba:
+        trace = BlkTrace(device.npages)
+        device.attach(trace)
+    if spec.op_reserved_fraction > 0:
+        partition = overprovisioned_partition(device, spec.op_reserved_fraction)
+    else:
+        partition = whole_device_partition(device)
+    # Only the PTS partition is aged; a reserved range stays trimmed so
+    # it provides software over-provisioning (§3.4, §4.6).
+    apply_drive_state(ssd, spec.drive_state, spec.seed,
+                      start_page=partition.start_page, npages=partition.npages)
+    fs = ExtentFilesystem(
+        partition,
+        strategy=spec.fs_strategy,
+        discard=spec.fs_discard,
+        seed=spec.seed,
+    )
+    store = _make_store(spec, fs, clock)
+    return clock, ssd, device, partition, fs, store, iostat, trace
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one full experiment and return its results."""
+    clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
+    workload = spec.workload()
+    collector = MetricsCollector(
+        clock=clock, ssd=ssd, iostat=iostat, fs=fs, store=store,
+        dataset_bytes=workload.dataset_bytes,
+    )
+
+    # Load phase: sequential ingest (§3.2).  WA baselines include it;
+    # the time series starts after it, exactly like the paper's plots.
+    load = load_sequential(store, workload)
+    if not load.out_of_space:
+        ssd.drain()
+    collector.start_measurement()
+    peak_util = fs.utilization()
+
+    target_bytes = int(spec.duration_capacity_writes * spec.capacity_bytes)
+    run_start = clock.now
+    outcome = load
+    if not load.out_of_space:
+        outcome = run_workload(
+            store,
+            workload,
+            seed=spec.seed,
+            stop_when=lambda: collector.host_bytes_written() >= target_bytes,
+            sample_interval=spec.sample_interval,
+            on_sample=collector.sample,
+            max_ops=spec.max_ops,
+        )
+        # Close the series, unless the final window is too small to be
+        # meaningful (partial windows distort windowed rates).
+        if clock.now - run_start >= spec.sample_interval * 0.5 and (
+            not collector.samples
+            or clock.now - (collector.samples[-1].t + run_start)
+            >= spec.sample_interval * 0.5
+        ):
+            collector.sample()
+
+    samples = collector.samples
+    steady = summarize(samples) if samples else None
+    peak_util = max(peak_util, fs.allocator.peak_used_pages / fs.allocator.npages)
+    dataset = max(workload.dataset_bytes, 1)
+    return ExperimentResult(
+        spec=spec,
+        samples=samples,
+        steady=steady,
+        out_of_space=outcome.out_of_space or load.out_of_space,
+        load_seconds=load.load_seconds,
+        run_seconds=clock.now - run_start,
+        ops_issued=outcome.ops_issued,
+        smart=ssd.smart.as_dict(),
+        peak_disk_utilization=peak_util,
+        peak_space_amp=fs.peak_used_bytes / dataset,
+        lba_histogram=trace.histogram if trace else None,
+        lba_never_written=trace.fraction_never_written() if trace else None,
+    )
+
+
+def _make_store(spec: ExperimentSpec, fs: ExtentFilesystem, clock: VirtualClock):
+    engine = Engine(spec.engine)
+    if engine is Engine.LSM:
+        return LSMStore(fs, clock, LSMConfig(**spec.engine_options))
+    return BTreeStore(fs, clock, BTreeConfig(**spec.engine_options))

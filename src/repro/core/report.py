@@ -1,0 +1,52 @@
+"""Plain-text table rendering for figure reproductions.
+
+Benchmarks print the same rows/series the paper's figures report;
+these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned text table."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    headers: Sequence[str],
+    series: Sequence[Sequence],
+    max_points: int = 12,
+) -> str:
+    """Render a (possibly thinned) time series as a table."""
+    rows = list(series)
+    if len(rows) > max_points:
+        step = (len(rows) - 1) / (max_points - 1)
+        rows = [rows[round(i * step)] for i in range(max_points)]
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,112 @@
+"""Flash endurance and wear analysis.
+
+§4.2.ii of the paper: end-to-end write amplification (WA-A x WA-D) "is
+the write amplification value that should be used to quantify the I/O
+efficiency of a PTS on flash, and its implications on the lifetime of
+an SSD".  This module turns that observation into numbers:
+
+* :func:`lifetime_estimate` — how long a drive lasts under a measured
+  workload, given its rated program/erase cycles;
+* :func:`drive_writes_per_day` — the DWPD the workload imposes;
+* :class:`WearReport` — per-block erase statistics from the FTL,
+  quantifying how evenly the simulated GC spreads wear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.flash.ftl import FlashTranslationLayer
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class EnduranceEstimate:
+    """Projected drive lifetime under a steady workload."""
+
+    flash_bytes_per_day: float  # bytes programmed to flash per day
+    host_bytes_per_day: float
+    total_flash_budget: float  # bytes the flash can absorb before wear-out
+    lifetime_days: float
+    drive_writes_per_day: float  # host DWPD
+
+    @property
+    def lifetime_years(self) -> float:
+        """Lifetime in years."""
+        return self.lifetime_days / 365.0
+
+
+def lifetime_estimate(
+    capacity_bytes: int,
+    user_bytes_per_second: float,
+    wa_app: float,
+    wa_device: float,
+    pe_cycles: int = 3000,
+) -> EnduranceEstimate:
+    """Project drive lifetime from measured amplification factors.
+
+    ``user_bytes_per_second`` is the application write rate; WA-A and
+    WA-D multiply it into the flash program rate.  ``pe_cycles`` is the
+    medium's rated program/erase endurance (3k is typical for
+    enterprise MLC/TLC).
+    """
+    if capacity_bytes <= 0 or pe_cycles <= 0:
+        raise ConfigError("capacity and pe_cycles must be positive")
+    if user_bytes_per_second < 0 or wa_app < 1.0 or wa_device < 1.0:
+        raise ConfigError("rates must be >= 0 and amplifications >= 1")
+    host_rate = user_bytes_per_second * wa_app
+    flash_rate = host_rate * wa_device
+    budget = float(capacity_bytes) * pe_cycles
+    flash_per_day = flash_rate * SECONDS_PER_DAY
+    host_per_day = host_rate * SECONDS_PER_DAY
+    lifetime = float("inf") if flash_per_day == 0 else budget / flash_per_day
+    return EnduranceEstimate(
+        flash_bytes_per_day=flash_per_day,
+        host_bytes_per_day=host_per_day,
+        total_flash_budget=budget,
+        lifetime_days=lifetime,
+        drive_writes_per_day=host_per_day / capacity_bytes,
+    )
+
+
+def drive_writes_per_day(capacity_bytes: int, host_bytes_per_second: float) -> float:
+    """Host DWPD: full-capacity writes per day the workload imposes."""
+    if capacity_bytes <= 0:
+        raise ConfigError("capacity must be positive")
+    return host_bytes_per_second * SECONDS_PER_DAY / capacity_bytes
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Distribution of erase counts across blocks."""
+
+    total_erases: int
+    mean_erases: float
+    max_erases: int
+    min_erases: int
+    stddev: float
+    wear_evenness: float  # min/max in (0, 1]; 1.0 = perfectly even
+
+    @classmethod
+    def from_ftl(cls, ftl: FlashTranslationLayer) -> "WearReport":
+        """Summarize the FTL's per-block erase counters."""
+        counts = ftl.erase_counts
+        total = int(counts.sum())
+        max_count = int(counts.max()) if counts.size else 0
+        return cls(
+            total_erases=total,
+            mean_erases=float(counts.mean()),
+            max_erases=max_count,
+            min_erases=int(counts.min()) if counts.size else 0,
+            stddev=float(counts.std()),
+            wear_evenness=(float(counts.min()) / max_count) if max_count else 1.0,
+        )
+
+
+def end_to_end_wa(wa_app: float, wa_device: float) -> float:
+    """The §4.2.ii product: application-to-flash-cell amplification."""
+    if wa_app < 1.0 or wa_device < 1.0:
+        raise ConfigError("write amplification factors are >= 1")
+    return wa_app * wa_device

@@ -1,0 +1,50 @@
+"""SMART-style device counters.
+
+The paper measures device-level write amplification (WA-D) "via SMART
+attributes of the device" (§3.3): the ratio between bytes written to
+flash (host writes plus garbage-collection relocations) and bytes the
+host sent.  This module provides the same cumulative counters plus
+snapshot/delta helpers so windowed WA-D can be computed as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class SmartAttributes:
+    """Cumulative device counters, all monotonically non-decreasing."""
+
+    host_bytes_written: int = 0
+    host_bytes_read: int = 0
+    nand_bytes_written: int = 0  # host writes + GC relocations, as programmed
+    nand_bytes_read: int = 0  # host reads + GC relocation reads
+    gc_bytes_relocated: int = 0
+    blocks_erased: int = 0
+    trim_commands: int = 0
+    host_write_requests: int = 0
+    host_read_requests: int = 0
+
+    def device_write_amplification(self) -> float:
+        """WA-D: flash bytes programmed per host byte written (>= 1)."""
+        if self.host_bytes_written == 0:
+            return 1.0
+        return self.nand_bytes_written / self.host_bytes_written
+
+    def snapshot(self) -> "SmartAttributes":
+        """Return an independent copy of the current counters."""
+        return SmartAttributes(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "SmartAttributes") -> "SmartAttributes":
+        """Return counters accumulated since *earlier* (a snapshot)."""
+        return SmartAttributes(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, for reports and serialization."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

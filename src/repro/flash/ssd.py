@@ -1,0 +1,248 @@
+"""The simulated SSD device: FTL + controller cache + timing + SMART.
+
+Timing model
+============
+
+The device is modeled as a flash back end with a write-back cache in
+front of it, which is the architecture the paper appeals to when
+explaining the SSD2 results (§4.7):
+
+* every write is programmed by the FTL immediately (bookkeeping), but
+  its *flash time* — programs for host data, programs for GC
+  relocations, and erases, divided by the internal parallelism — is
+  queued on a busy horizon ``busy_until``;
+* a host write completes once its bytes are transferred and the
+  outstanding flash work fits inside the controller cache.  While the
+  backlog fits in the cache the host only observes the (low) cache
+  insertion latency; once the backlog exceeds the cache the host
+  stalls until the flash catches up.  Large bursty writes therefore
+  overwhelm small-cache devices exactly as described for RocksDB on
+  SSD2;
+* reads observe a latency floor plus a contention penalty proportional
+  to the current write backlog.
+
+Garbage collection inflates the queued flash time (relocated pages are
+real programs), so a rising WA-D directly reduces the drain rate — the
+causal chain behind Figures 2, 3, 5 and 7 of the paper.
+
+Background writes (flushes, compactions, checkpoints — work the engines
+perform off the user thread) extend the busy horizon without blocking
+the caller; engines translate backlog into write stalls themselves,
+like RocksDB's slowdown/stop conditions do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clock import VirtualClock
+from repro.errors import OutOfRangeError
+from repro.flash.config import SSDConfig
+from repro.flash.ftl import FlashTranslationLayer, WorkUnits
+from repro.flash.gc import GCPolicy
+from repro.flash.smart import SmartAttributes
+
+
+class SSD:
+    """A simulated SSD with SMART counters and a virtual-time cost model."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        clock: VirtualClock,
+        policy: GCPolicy | None = None,
+    ):
+        self.config = config
+        self.clock = clock
+        self.smart = SmartAttributes()
+        if config.byte_addressable:
+            self.ftl = None
+            self._mapped = np.zeros(config.logical_pages, dtype=bool)
+        else:
+            self.ftl = FlashTranslationLayer(config, policy)
+            self._mapped = None
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Geometry passthrough (device-protocol surface used by upper layers)
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        """Bytes per logical page."""
+        return self.config.page_size
+
+    @property
+    def npages(self) -> int:
+        """Logical pages exposed to the host."""
+        return self.config.logical_pages
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Nominal capacity in bytes."""
+        return self.config.logical_bytes
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def write_pages(self, lpns: np.ndarray, background: bool = False) -> float:
+        """Write the given (unique) logical pages.
+
+        Returns the host-visible latency in seconds; background writes
+        return 0.0 but still queue flash work and count in SMART.
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        if lpns.size == 0:
+            return 0.0
+        work = self._do_write(lpns)
+        return self._account_write(int(lpns.size), work, background)
+
+    def write_range(self, start: int, npages: int, background: bool = False) -> float:
+        """Write a consecutive logical range."""
+        if npages <= 0:
+            return 0.0
+        if self.ftl is not None:
+            self._check(start, npages)
+            work = self.ftl.write_range(start, npages)
+        else:
+            self._check(start, npages)
+            self._mapped[start : start + npages] = True
+            work = WorkUnits(host_pages=npages)
+        return self._account_write(npages, work, background)
+
+    def read_range(self, start: int, npages: int) -> float:
+        """Read a consecutive logical range; returns host-visible latency."""
+        if npages <= 0:
+            return 0.0
+        self._check(start, npages)
+        if self.ftl is not None:
+            self.ftl.read_range(start, npages)
+        cfg = self.config
+        nbytes = npages * cfg.page_size
+        latency = (
+            cfg.read_latency
+            + npages * cfg.page_read_time / cfg.channels
+            + nbytes / cfg.bus_bytes_per_s
+        )
+        backlog = self.backlog_seconds()
+        if backlog > 0 and cfg.read_contention > 0:
+            saturation = min(1.0, backlog / cfg.read_contention_window)
+            latency *= 1.0 + cfg.read_contention * saturation
+        self.smart.host_bytes_read += nbytes
+        self.smart.nand_bytes_read += nbytes
+        self.smart.host_read_requests += 1
+        return latency
+
+    def trim_range(self, start: int, npages: int) -> None:
+        """TRIM a consecutive logical range (invalidate its data)."""
+        if npages <= 0:
+            return
+        self._check(start, npages)
+        if self.ftl is not None:
+            self.ftl.trim_range(start, npages)
+        else:
+            self._mapped[start : start + npages] = False
+        self.smart.trim_commands += 1
+
+    def trim_all(self) -> None:
+        """TRIM the whole logical space (the ``blkdiscard`` analogue)."""
+        self.trim_range(0, self.npages)
+
+    # ------------------------------------------------------------------
+    # Busy-horizon queries used by engines for stall decisions
+    # ------------------------------------------------------------------
+    def backlog_seconds(self, at: float | None = None) -> float:
+        """Seconds of queued flash work not yet completed at time *at*."""
+        now = self.clock.now if at is None else at
+        return max(0.0, self._busy_until - now)
+
+    def drain(self) -> float:
+        """Advance the clock until the device is idle; returns the wait."""
+        wait = self.backlog_seconds()
+        if wait > 0:
+            self.clock.advance(wait)
+        return wait
+
+    def settle(self) -> None:
+        """Discard any queued work time (device considered idle *now*).
+
+        Used between experiment phases (e.g. after preconditioning) to
+        model the idle gap before the measured run starts.
+        """
+        self._busy_until = self.clock.now
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def device_write_amplification(self) -> float:
+        """Lifetime WA-D from SMART counters."""
+        return self.smart.device_write_amplification()
+
+    def utilization(self) -> float:
+        """Fraction of logical pages with data associated."""
+        if self.ftl is not None:
+            return self.ftl.utilization
+        return float(np.count_nonzero(self._mapped)) / self.npages
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether a logical page currently has data associated."""
+        if self.ftl is not None:
+            return self.ftl.is_mapped(lpn)
+        if not 0 <= lpn < self.npages:
+            raise OutOfRangeError(f"lpn {lpn} outside logical space")
+        return bool(self._mapped[lpn])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check(self, start: int, npages: int) -> None:
+        if start < 0 or start + npages > self.npages:
+            raise OutOfRangeError(
+                f"range [{start}, {start + npages}) outside logical space "
+                f"of {self.npages} pages"
+            )
+
+    def _do_write(self, lpns: np.ndarray) -> WorkUnits:
+        if self.ftl is not None:
+            return self.ftl.write_pages(lpns)
+        self._mapped[lpns] = True
+        return WorkUnits(host_pages=int(lpns.size))
+
+    def _flash_time(self, work: WorkUnits) -> float:
+        cfg = self.config
+        return (
+            work.programmed_pages * cfg.program_time + work.erases * cfg.erase_time
+        ) / cfg.channels
+
+    def _account_write(self, npages: int, work: WorkUnits, background: bool) -> float:
+        cfg = self.config
+        nbytes = npages * cfg.page_size
+        self.smart.host_bytes_written += nbytes
+        self.smart.host_write_requests += 1
+        self.smart.nand_bytes_written += work.programmed_pages * cfg.page_size
+        self.smart.gc_bytes_relocated += work.gc_pages * cfg.page_size
+        self.smart.nand_bytes_read += work.gc_pages * cfg.page_size
+        self.smart.blocks_erased += work.erases
+
+        now = self.clock.now
+        flash_time = self._flash_time(work)
+        if (
+            cfg.fold_penalty > 1.0
+            and self.backlog_seconds() > 1.25 * cfg.cache_drain_window
+        ):
+            # The SLC cache is overwhelmed: folding into QLC multiplies
+            # the effective cost of the incoming writes (§4.7's "large
+            # bursty writes overwhelm the cache").  Synchronous writers
+            # self-clock at the cache window and never reach this
+            # threshold; bursty background writers (LSM flushes and
+            # compactions) push far past it and pay the folding cost.
+            flash_time *= cfg.fold_penalty
+        start = max(self._busy_until, now)
+        self._busy_until = start + flash_time
+        if background:
+            return 0.0
+        transfer = nbytes / cfg.bus_bytes_per_s
+        completion = max(
+            now + transfer + cfg.write_latency,
+            self._busy_until - cfg.cache_drain_window,
+        )
+        return completion - now

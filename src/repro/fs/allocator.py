@@ -1,0 +1,210 @@
+"""Extent allocator for the simulated filesystem.
+
+Three strategies are provided:
+
+* **scatter** (default): allocations are taken from a pseudo-randomly
+  chosen free extent (weighted by size).  This models an aged ext4:
+  space freed by deleted files is reused at effectively arbitrary
+  positions, so a workload that constantly creates and deletes files
+  (the LSM engine's SSTables) both covers the *whole* LBA space over
+  time (Fig 4 of the paper) and produces a random overwrite pattern at
+  device level — the pattern for which garbage collection exhibits the
+  utilization-dependent WA-D the paper measures (Figs 2c, 3c, 5b).
+* **next-fit** (ablation): a rotor walks the address space and wraps.
+  This produces a *cyclic sequential* overwrite pattern whose WA-D is
+  ~1 regardless of utilization — a useful contrast showing how much
+  the filesystem's reuse policy matters
+  (``benchmarks/bench_ablation_allocator.py``).
+* **first-fit** (ablation): always allocate at the lowest possible
+  address, keeping the file footprint compact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+import numpy as np
+
+from repro.errors import ConfigError, NoSpaceError
+
+Extent = tuple[int, int]  # (start_page, npages)
+
+STRATEGIES = ("scatter", "next-fit", "first-fit")
+
+
+class ExtentAllocator:
+    """Tracks free extents over ``[0, npages)`` and hands out space."""
+
+    def __init__(self, npages: int, strategy: str = "scatter", seed: int = 0):
+        if npages <= 0:
+            raise ConfigError("allocator needs a positive page count")
+        if strategy not in STRATEGIES:
+            raise ConfigError(f"unknown allocation strategy {strategy!r}")
+        self.npages = npages
+        self.strategy = strategy
+        self._rng = np.random.default_rng(seed)
+        self._starts: list[int] = [0]
+        self._lens: dict[int, int] = {0: npages}
+        self._rotor = 0
+        self.free_pages = npages
+        self.peak_used_pages = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, npages: int, contiguous: bool = False) -> list[Extent]:
+        """Allocate *npages*, returning the extents granted.
+
+        With ``contiguous=True`` a single extent is returned or
+        :class:`NoSpaceError` is raised; otherwise the request may be
+        satisfied by multiple extents.
+        """
+        if npages <= 0:
+            raise ConfigError("allocation size must be positive")
+        if npages > self.free_pages:
+            raise NoSpaceError(
+                f"requested {npages} pages but only {self.free_pages} free"
+            )
+        if contiguous:
+            return [self._alloc_contiguous(npages)]
+        granted: list[Extent] = []
+        remaining = npages
+        while remaining > 0:
+            extent = self._take_some(remaining)
+            granted.append(extent)
+            remaining -= extent[1]
+        return granted
+
+    def free(self, start: int, npages: int) -> None:
+        """Return an extent to the free pool, coalescing neighbours."""
+        if npages <= 0:
+            raise ConfigError("freed extent must be non-empty")
+        if start < 0 or start + npages > self.npages:
+            raise ConfigError("freed extent outside address space")
+        idx = bisect_right(self._starts, start)
+        if idx > 0:
+            prev_start = self._starts[idx - 1]
+            if prev_start + self._lens[prev_start] > start:
+                raise ConfigError("double free: extent overlaps a free extent")
+        if idx < len(self._starts) and start + npages > self._starts[idx]:
+            raise ConfigError("double free: extent overlaps a free extent")
+
+        freed = npages  # only the newly freed pages count toward free_pages
+        # Coalesce with successor.
+        if idx < len(self._starts) and self._starts[idx] == start + npages:
+            npages += self._lens.pop(self._starts[idx])
+            del self._starts[idx]
+        # Coalesce with predecessor.
+        if idx > 0:
+            prev_start = self._starts[idx - 1]
+            if prev_start + self._lens[prev_start] == start:
+                self._lens[prev_start] += npages
+                self.free_pages += freed
+                return
+        insort(self._starts, start)
+        self._lens[start] = npages
+        self.free_pages += freed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def free_extents(self) -> list[Extent]:
+        """All free extents sorted by start (a copy)."""
+        return [(s, self._lens[s]) for s in self._starts]
+
+    def largest_free_extent(self) -> int:
+        """Size of the largest free extent in pages (0 when full)."""
+        if not self._starts:
+            return 0
+        return max(self._lens.values())
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises ``AssertionError`` on bugs."""
+        assert self._starts == sorted(self._starts)
+        assert set(self._starts) == set(self._lens)
+        total = 0
+        prev_end = -1
+        for start in self._starts:
+            length = self._lens[start]
+            assert length > 0
+            assert start > prev_end, "free extents overlap or are uncoalesced"
+            assert start + length <= self.npages
+            prev_end = start + length - 1
+            total += length
+        assert total == self.free_pages
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _scan_order(self) -> list[int]:
+        """Indices into the free-extent list in allocation-scan order."""
+        if self.strategy == "first-fit" or not self._starts:
+            return list(range(len(self._starts)))
+        if self.strategy == "scatter":
+            # Start from a size-weighted random extent (uniform over free
+            # pages), then continue round-robin so large requests can
+            # gather multiple extents.
+            count = len(self._starts)
+            weights = np.fromiter(
+                (self._lens[s] for s in self._starts), dtype=np.float64, count=count
+            )
+            pivot = int(self._rng.choice(count, p=weights / weights.sum()))
+            return list(range(pivot, count)) + list(range(pivot))
+        pivot = bisect_left(self._starts, self._rotor)
+        if pivot > 0:
+            prev = self._starts[pivot - 1]
+            if prev + self._lens[prev] > self._rotor:
+                pivot -= 1  # rotor points inside the previous extent
+        return list(range(pivot, len(self._starts))) + list(range(pivot))
+
+    def _alloc_contiguous(self, npages: int) -> Extent:
+        for idx in self._scan_order():
+            start = self._starts[idx]
+            length = self._lens[start]
+            take_from = start
+            if self.strategy == "next-fit" and start < self._rotor < start + length:
+                take_from = self._rotor
+                if start + length - take_from < npages:
+                    take_from = start  # tail too small: use the extent head
+            if start + length - take_from >= npages:
+                self._carve(start, take_from, npages)
+                return (take_from, npages)
+        raise NoSpaceError(
+            f"no contiguous extent of {npages} pages "
+            f"(largest free: {self.largest_free_extent()})"
+        )
+
+    def _take_some(self, limit: int) -> Extent:
+        for idx in self._scan_order():
+            start = self._starts[idx]
+            length = self._lens[start]
+            take_from = start
+            if self.strategy == "next-fit" and start < self._rotor < start + length:
+                take_from = self._rotor
+            available = start + length - take_from
+            take = min(limit, available)
+            if take > 0:
+                self._carve(start, take_from, take)
+                return (take_from, take)
+        raise NoSpaceError("free accounting drifted: no extent found")
+
+    def _carve(self, extent_start: int, take_from: int, take: int) -> None:
+        """Remove [take_from, take_from+take) from the free extent at
+        *extent_start*, splitting it as needed."""
+        length = self._lens[extent_start]
+        idx = bisect_left(self._starts, extent_start)
+        del self._starts[idx]
+        del self._lens[extent_start]
+        head = take_from - extent_start
+        tail = (extent_start + length) - (take_from + take)
+        if head > 0:
+            insort(self._starts, extent_start)
+            self._lens[extent_start] = head
+        if tail > 0:
+            tail_start = take_from + take
+            insort(self._starts, tail_start)
+            self._lens[tail_start] = tail
+        self.free_pages -= take
+        self.peak_used_pages = max(self.peak_used_pages, self.npages - self.free_pages)
+        end = take_from + take
+        self._rotor = 0 if end >= self.npages else end

@@ -1,0 +1,332 @@
+"""Extent-based filesystem over a block device / partition.
+
+This is the ext4 stand-in of the reproduction (§3.5 of the paper).
+Files are lists of extents; the allocator policy decides where new
+extents land (see :mod:`repro.fs.allocator`).  Two paper-relevant
+semantics are modeled explicitly:
+
+* ``nodiscard`` (default, like the paper's mount options): deleting a
+  file frees its extents in the filesystem but does **not** TRIM them
+  on the device, so the SSD keeps treating the stale pages as valid
+  until they are overwritten — a key ingredient of the LSM engine's
+  device-level write amplification;
+* ``discard=True`` (ablation): deletions TRIM the freed extents.
+
+Filesystem metadata overhead is not modeled; the paper states it is
+negligible relative to the multi-GB datasets (§3.3).
+
+For functional tests the filesystem can optionally retain file
+contents in memory (``record_data=True``); engines run with accounting
+only, since key-value payloads are represented by (seed, length)
+descriptors rather than real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from bisect import bisect_right
+
+from repro.errors import FileExistsError_, FileNotFoundError_, FilesystemError
+from repro.fs.allocator import Extent, ExtentAllocator
+
+
+@dataclass
+class FileMeta:
+    """Metadata of one file: its extents (in file order) and byte size."""
+
+    name: str
+    extents: list[Extent] = field(default_factory=list)
+    size_bytes: int = 0
+    data: bytearray | None = None
+    # Cached cumulative page counts per extent (lazy; None = stale).
+    cum: list[int] | None = None
+
+    @property
+    def npages(self) -> int:
+        """Pages allocated to the file."""
+        return sum(length for _, length in self.extents)
+
+    def cumulative(self) -> list[int]:
+        """``cumulative()[i]`` = pages in extents[0..i]; cached."""
+        if self.cum is None:
+            total = 0
+            cum = []
+            for _start, length in self.extents:
+                total += length
+                cum.append(total)
+            self.cum = cum
+        return self.cum
+
+
+class ExtentFilesystem:
+    """A minimal extent filesystem exposing the operations engines need."""
+
+    def __init__(self, device, strategy: str = "scatter", discard: bool = False,
+                 record_data: bool = False, seed: int = 0):
+        self.device = device
+        self.page_size = device.page_size
+        self.allocator = ExtentAllocator(device.npages, strategy=strategy, seed=seed)
+        self.discard = discard
+        self.record_data = record_data
+        self._files: dict[str, FileMeta] = {}
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+    def create(self, name: str) -> None:
+        """Create an empty file."""
+        if name in self._files:
+            raise FileExistsError_(f"file {name!r} already exists")
+        self._files[name] = FileMeta(
+            name, data=bytearray() if self.record_data else None
+        )
+
+    def exists(self, name: str) -> bool:
+        """Whether the named file exists."""
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Delete a file, freeing its extents (TRIM only if ``discard``)."""
+        meta = self._lookup(name)
+        for start, length in meta.extents:
+            self.allocator.free(start, length)
+            if self.discard:
+                self.device.trim_range(start, length)
+        del self._files[name]
+
+    def list_files(self) -> list[str]:
+        """Names of all files, sorted."""
+        return sorted(self._files)
+
+    def file_size(self, name: str) -> int:
+        """Byte size of the named file."""
+        return self._lookup(name).size_bytes
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def append(self, name: str, data_or_size: bytes | int,
+               background: bool = False) -> float:
+        """Append bytes (or an abstract byte count) to a file.
+
+        New pages are allocated as needed; a partially filled tail page
+        is rewritten (the read-modify-write a real filesystem performs
+        with direct I/O).  Returns host-visible latency.
+        """
+        meta = self._lookup(name)
+        nbytes = data_or_size if isinstance(data_or_size, int) else len(data_or_size)
+        if nbytes <= 0:
+            return 0.0
+        if self.record_data:
+            if isinstance(data_or_size, int):
+                meta.data.extend(b"\0" * nbytes)
+            else:
+                meta.data.extend(data_or_size)
+
+        old_size = meta.size_bytes
+        new_size = old_size + nbytes
+        old_pages = _ceil_div(old_size, self.page_size)
+        new_pages = _ceil_div(new_size, self.page_size)
+        if new_pages > old_pages:
+            for extent in self.allocator.alloc(new_pages - old_pages):
+                self._push_extent(meta, extent)
+        meta.size_bytes = new_size
+
+        # Pages touched: the (possibly partial) page containing old EOF
+        # through the last page of the new EOF.
+        first_page = old_size // self.page_size
+        lpns = self._file_lpns(meta, first_page, new_pages - first_page)
+        return self.device.write_pages(lpns, background=background)
+
+    def reserve(self, name: str, nbytes: int) -> None:
+        """Extend a file by *nbytes* without writing (``fallocate``).
+
+        The allocated pages stay unwritten on the device until a
+        ``pwrite`` touches them — pre-allocated-but-unused space does
+        not count as valid data for garbage collection, exactly like a
+        real fallocate over a trimmed range.
+        """
+        meta = self._lookup(name)
+        if nbytes <= 0:
+            return
+        if self.record_data:
+            meta.data.extend(b"\0" * nbytes)
+        old_pages = _ceil_div(meta.size_bytes, self.page_size)
+        new_size = meta.size_bytes + nbytes
+        new_pages = _ceil_div(new_size, self.page_size)
+        if new_pages > old_pages:
+            for extent in self.allocator.alloc(new_pages - old_pages):
+                self._push_extent(meta, extent)
+        meta.size_bytes = new_size
+
+    def pwrite(self, name: str, offset: int, data_or_size: bytes | int,
+               background: bool = False) -> float:
+        """Write within (or extending) a file at a byte offset."""
+        meta = self._lookup(name)
+        nbytes = data_or_size if isinstance(data_or_size, int) else len(data_or_size)
+        if nbytes <= 0:
+            return 0.0
+        if offset < 0 or offset > meta.size_bytes:
+            raise FilesystemError(
+                f"pwrite at offset {offset} beyond EOF {meta.size_bytes} of {name!r}"
+            )
+        end = offset + nbytes
+        latency = 0.0
+        if end > meta.size_bytes:
+            # Grow first (allocating pages), then overwrite in place below;
+            # the grown region's write is charged by append.
+            grow = end - meta.size_bytes
+            latency += self.append(name, grow, background=background)
+            nbytes -= grow
+            end = offset + nbytes
+            if nbytes <= 0:
+                if self.record_data and not isinstance(data_or_size, int):
+                    self._patch_data(meta, offset, data_or_size)
+                return latency
+        if self.record_data and not isinstance(data_or_size, int):
+            self._patch_data(meta, offset, data_or_size)
+        first_page = offset // self.page_size
+        last_page = _ceil_div(end, self.page_size)
+        lpns = self._file_lpns(meta, first_page, last_page - first_page)
+        latency += self.device.write_pages(lpns, background=background)
+        return latency
+
+    def pread(self, name: str, offset: int, nbytes: int) -> tuple[float, bytes | None]:
+        """Read a byte range; returns (latency, data-or-None).
+
+        Data is returned only when the filesystem records contents.
+        """
+        meta = self._lookup(name)
+        if nbytes <= 0:
+            return 0.0, b"" if self.record_data else None
+        if offset < 0 or offset + nbytes > meta.size_bytes:
+            raise FilesystemError(
+                f"pread [{offset}, {offset + nbytes}) beyond EOF "
+                f"{meta.size_bytes} of {name!r}"
+            )
+        first_page = offset // self.page_size
+        last_page = _ceil_div(offset + nbytes, self.page_size)
+        latency = 0.0
+        for start, length in self._file_runs(meta, first_page, last_page - first_page):
+            latency += self.device.read_range(start, length)
+        data = bytes(meta.data[offset : offset + nbytes]) if self.record_data else None
+        return latency, data
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def used_pages(self) -> int:
+        """Pages currently allocated to files."""
+        return self.allocator.npages - self.allocator.free_pages
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of allocated space (page granularity, like ``df``)."""
+        return self.used_pages * self.page_size
+
+    @property
+    def peak_used_bytes(self) -> int:
+        """High-water mark of allocated space (the paper reports the
+        *maximum* utilization for RocksDB, whose usage oscillates)."""
+        return self.allocator.peak_used_pages * self.page_size
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes of unallocated space."""
+        return self.allocator.free_pages * self.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total filesystem capacity in bytes."""
+        return self.allocator.npages * self.page_size
+
+    def utilization(self) -> float:
+        """Fraction of the filesystem capacity allocated to files."""
+        return self.used_pages / self.allocator.npages
+
+    def file_device_pages(self, name: str) -> np.ndarray:
+        """All device pages of a file, in file order (for tests/traces)."""
+        meta = self._lookup(name)
+        return self._file_lpns(meta, 0, meta.npages)
+
+    def check_invariants(self) -> None:
+        """Verify allocator/file consistency; raises on bugs."""
+        self.allocator.check_invariants()
+        claimed: set[int] = set()
+        for meta in self._files.values():
+            for start, length in meta.extents:
+                pages = range(start, start + length)
+                overlap = claimed.intersection(pages)
+                assert not overlap, f"files share pages {sorted(overlap)[:4]}"
+                claimed.update(pages)
+            assert meta.npages >= _ceil_div(meta.size_bytes, self.page_size)
+        free = {
+            page
+            for start, length in self.allocator.free_extents()
+            for page in range(start, start + length)
+        }
+        assert not claimed.intersection(free), "allocated pages marked free"
+        assert len(claimed) + len(free) == self.allocator.npages
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lookup(self, name: str) -> FileMeta:
+        if name not in self._files:
+            raise FileNotFoundError_(f"no such file: {name!r}")
+        return self._files[name]
+
+    def _push_extent(self, meta: FileMeta, extent: Extent) -> None:
+        """Append an extent, merging with the previous one if adjacent."""
+        meta.cum = None
+        if meta.extents:
+            last_start, last_len = meta.extents[-1]
+            if last_start + last_len == extent[0]:
+                meta.extents[-1] = (last_start, last_len + extent[1])
+                return
+        meta.extents.append(extent)
+
+    def _file_runs(self, meta: FileMeta, first_page: int, count: int):
+        """Yield (device_start, length) runs covering file pages
+        [first_page, first_page+count)."""
+        if count <= 0:
+            return
+        cumulative = meta.cumulative()
+        if not cumulative or first_page + count > cumulative[-1]:
+            raise FilesystemError(
+                f"file {meta.name!r} has no pages for requested range"
+            )
+        idx = bisect_right(cumulative, first_page)
+        preceding = cumulative[idx - 1] if idx > 0 else 0
+        skip = first_page - preceding
+        remaining = count
+        while remaining > 0:
+            start, length = meta.extents[idx]
+            take = min(length - skip, remaining)
+            yield (start + skip, take)
+            remaining -= take
+            skip = 0
+            idx += 1
+
+    def _file_lpns(self, meta: FileMeta, first_page: int, count: int) -> np.ndarray:
+        runs = list(self._file_runs(meta, first_page, count))
+        if len(runs) == 1:
+            start, length = runs[0]
+            return np.arange(start, start + length, dtype=np.int64)
+        return np.concatenate(
+            [np.arange(s, s + l, dtype=np.int64) for s, l in runs]
+        )
+
+    def _patch_data(self, meta: FileMeta, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if len(meta.data) < end:
+            meta.data.extend(b"\0" * (end - len(meta.data)))
+        meta.data[offset:end] = data
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

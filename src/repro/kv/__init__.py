@@ -1,0 +1,7 @@
+"""Key-value store interface, value descriptors and statistics."""
+
+from repro.kv.api import KVStore
+from repro.kv.stats import KVStats
+from repro.kv.values import Value, materialize, value_for
+
+__all__ = ["KVStore", "KVStats", "Value", "materialize", "value_for"]

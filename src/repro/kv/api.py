@@ -1,0 +1,56 @@
+"""The key-value store interface both engines implement.
+
+Keys are 64-bit integers (the paper's 16-byte string keys are modeled
+by an accounting ``key_bytes`` parameter in each engine's config);
+values are :class:`~repro.kv.values.Value` descriptors.  All methods
+that perform I/O return the synchronous (user-visible) latency in
+virtual seconds and advance the shared clock by that amount, matching
+the single-user-thread methodology of §3.2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.kv.stats import KVStats
+from repro.kv.values import Value
+
+
+class KVStore(ABC):
+    """Abstract persistent key-value store."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def put(self, key: int, value: Value) -> float:
+        """Insert or update a key; returns user-visible latency."""
+
+    @abstractmethod
+    def get(self, key: int) -> tuple[float, Value | None]:
+        """Look up a key; returns (latency, value-or-None)."""
+
+    @abstractmethod
+    def delete(self, key: int) -> float:
+        """Delete a key; returns user-visible latency."""
+
+    @abstractmethod
+    def scan(self, start_key: int, count: int) -> tuple[float, list[tuple[int, Value]]]:
+        """Return up to *count* pairs with key >= start_key, in order."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Persist all buffered state (background device work)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and mark the store closed."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> KVStats:
+        """Cumulative application-level statistics."""
+
+    @property
+    @abstractmethod
+    def disk_bytes_used(self) -> int:
+        """Bytes of filesystem space the store currently occupies."""

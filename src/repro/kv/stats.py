@@ -1,0 +1,40 @@
+"""Application-level statistics shared by the key-value engines.
+
+``user_bytes_written`` is the denominator of application-level write
+amplification (WA-A, §2.1.3): the bytes of application data handed to
+the store, i.e. key size plus value size per write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class KVStats:
+    """Cumulative per-store operation counters."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    scans: int = 0
+    user_bytes_written: int = 0  # application key+value bytes written
+    user_bytes_read: int = 0  # application key+value bytes returned
+
+    @property
+    def ops(self) -> int:
+        """Total operations completed."""
+        return self.puts + self.gets + self.deletes + self.scans
+
+    def snapshot(self) -> "KVStats":
+        """Return an independent copy of the counters."""
+        return KVStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "KVStats") -> "KVStats":
+        """Counters accumulated since *earlier* (a snapshot)."""
+        return KVStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )

@@ -1,0 +1,26 @@
+"""LSM-tree key-value engine (the RocksDB model)."""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.compaction import Compaction, CompactionExecutor, CompactionPicker
+from repro.lsm.config import LSMConfig
+from repro.lsm.memtable import KIND_DELETE, KIND_PUT, MemTable
+from repro.lsm.sstable import SSTable, split_into_tables
+from repro.lsm.store import LSMStore
+from repro.lsm.version import Version
+from repro.lsm.wal import WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "Compaction",
+    "CompactionExecutor",
+    "CompactionPicker",
+    "LSMConfig",
+    "LSMStore",
+    "MemTable",
+    "SSTable",
+    "split_into_tables",
+    "Version",
+    "WriteAheadLog",
+    "KIND_PUT",
+    "KIND_DELETE",
+]

@@ -1,0 +1,77 @@
+"""The in-memory write buffer of the LSM engine (§2.1.1).
+
+Incoming writes are buffered here; when the memtable reaches its
+configured size it is made immutable and flushed to L0 as an SSTable.
+Entries carry a global sequence number so that flush/compaction can
+order versions of the same key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsm.config import LSMConfig
+
+KIND_PUT = 0
+KIND_DELETE = 1
+
+
+class MemTable:
+    """A mutable buffer of the newest writes, keyed by integer key."""
+
+    def __init__(self, config: LSMConfig):
+        self.config = config
+        # key -> (seq, vseed, vlen, kind); a plain dict because each key
+        # keeps only its newest in-memtable version, like a skiplist
+        # with upserts would.
+        self._entries: dict[int, tuple[int, int, int, int]] = {}
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: int, seq: int, vseed: int, vlen: int) -> None:
+        """Record a put; accounting grows by the full entry size."""
+        self._entries[key] = (seq, vseed, vlen, KIND_PUT)
+        self.approximate_bytes += self.config.key_bytes + self.config.entry_overhead + vlen
+
+    def delete(self, key: int, seq: int) -> None:
+        """Record a tombstone."""
+        self._entries[key] = (seq, 0, 0, KIND_DELETE)
+        self.approximate_bytes += self.config.key_bytes + self.config.entry_overhead
+
+    def get(self, key: int) -> tuple[int, int, int, int] | None:
+        """Newest in-memtable entry for *key*, or None."""
+        return self._entries.get(key)
+
+    @property
+    def full(self) -> bool:
+        """Whether the memtable reached its flush threshold."""
+        return self.approximate_bytes >= self.config.memtable_bytes
+
+    def sorted_arrays(self) -> tuple[np.ndarray, ...]:
+        """Entries as (keys, seqs, vseeds, vlens, kinds), sorted by key.
+
+        This is the flush representation consumed by the SSTable
+        builder.
+        """
+        if not self._entries:
+            empty64 = np.empty(0, dtype=np.int64)
+            return (empty64, empty64.copy(), np.empty(0, dtype=np.uint64),
+                    empty64.copy(), np.empty(0, dtype=np.int8))
+        keys = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        rows = list(self._entries.values())
+        seqs = np.fromiter((r[0] for r in rows), dtype=np.int64, count=len(rows))[order]
+        # Value seeds are full-range 64-bit hashes, hence unsigned.
+        vseeds = np.fromiter((r[1] for r in rows), dtype=np.uint64, count=len(rows))[order]
+        vlens = np.fromiter((r[2] for r in rows), dtype=np.int64, count=len(rows))[order]
+        kinds = np.fromiter((r[3] for r in rows), dtype=np.int8, count=len(rows))[order]
+        return keys, seqs, vseeds, vlens, kinds
+
+    def range_items(self, start_key: int) -> list[tuple[int, tuple[int, int, int, int]]]:
+        """Entries with key >= start_key, ordered by key (for scans)."""
+        selected = [(k, v) for k, v in self._entries.items() if k >= start_key]
+        selected.sort(key=lambda kv: kv[0])
+        return selected

@@ -1,0 +1,328 @@
+"""The LSM-tree key-value store (the RocksDB model).
+
+Write path: WAL append (buffered) + memtable insert; a full memtable
+becomes immutable and is flushed to L0 as background device work;
+compactions keep the levels shaped.  The user thread is throttled only
+through the write-stall model: when the device backlog (our proxy for
+"compaction is behind") exceeds the soft limit, writes are delayed;
+past the hard limit they wait for the backlog to drain — RocksDB's
+slowdown/stop conditions.  This is what binds user throughput to
+device bandwidth / (WA-A x WA-D) at steady state, producing the
+dynamics of Fig 2a.
+
+Read path: memtable, immutable memtables, L0 newest-to-oldest, then
+one file per sorted level; bloom filters (memory-resident) gate the
+data-block reads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.clock import VirtualClock
+from repro.errors import StoreClosedError
+from repro.fs.filesystem import ExtentFilesystem
+from repro.kv.api import KVStore
+from repro.kv.stats import KVStats
+from repro.kv.values import Value
+from repro.lsm.compaction import CompactionExecutor, CompactionPicker
+from repro.lsm.config import LSMConfig
+from repro.lsm.memtable import KIND_DELETE, KIND_PUT, MemTable
+from repro.lsm.sstable import split_into_tables
+from repro.lsm.version import Version
+from repro.lsm.wal import WriteAheadLog
+
+
+class LSMStore(KVStore):
+    """A leveled LSM tree over the simulated filesystem."""
+
+    name = "lsm"
+
+    def __init__(self, fs: ExtentFilesystem, clock: VirtualClock,
+                 config: LSMConfig | None = None):
+        self.fs = fs
+        self.clock = clock
+        self.config = config or LSMConfig()
+        self._stats = KVStats()
+        self._seq = itertools.count(1)
+        self._table_ids = itertools.count(1)
+        self._wal_ids = itertools.count(1)
+        self.version = Version(self.config)
+        self.picker = CompactionPicker(self.config)
+        self.executor = CompactionExecutor(self.fs, self.config, self._next_table_id)
+        self.memtable = MemTable(self.config)
+        self.wal = WriteAheadLog(self.fs, self.config, next(self._wal_ids)) \
+            if self.config.wal_enabled else None
+        self._immutables: list[tuple[MemTable, WriteAheadLog | None]] = []
+        self._closed = False
+        self.flushed_bytes = 0  # memtable flush traffic (part of WA-A)
+        self.stall_seconds = 0.0  # cumulative write-stall time
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: Value) -> float:
+        """Insert/update a key."""
+        self._ensure_open()
+        latency = self.config.cpu_overhead
+        if self.wal is not None:
+            latency += self.wal.append(self.config.key_bytes + value.length)
+        self.memtable.put(key, next(self._seq), value.seed, value.length)
+        self._stats.puts += 1
+        self._stats.user_bytes_written += self.config.key_bytes + value.length
+        latency += self._after_write()
+        self.clock.advance(latency)
+        return latency
+
+    def delete(self, key: int) -> float:
+        """Write a tombstone for a key."""
+        self._ensure_open()
+        latency = self.config.cpu_overhead
+        if self.wal is not None:
+            latency += self.wal.append(self.config.key_bytes)
+        self.memtable.delete(key, next(self._seq))
+        self._stats.deletes += 1
+        self._stats.user_bytes_written += self.config.key_bytes
+        latency += self._after_write()
+        self.clock.advance(latency)
+        return latency
+
+    def get(self, key: int) -> tuple[float, Value | None]:
+        """Point lookup."""
+        self._ensure_open()
+        latency = self.config.cpu_overhead
+        entry = self._find(key)
+        value = None
+        if entry is not None:
+            read_latency, found = entry
+            latency += read_latency
+            value = found
+        self._stats.gets += 1
+        if value is not None:
+            self._stats.user_bytes_read += self.config.key_bytes + value.length
+        self.clock.advance(latency)
+        return latency, value
+
+    def scan(self, start_key: int, count: int) -> tuple[float, list[tuple[int, Value]]]:
+        """Ordered range scan of up to *count* live pairs."""
+        self._ensure_open()
+        latency = self.config.cpu_overhead
+        results: list[tuple[int, Value]] = []
+        heap: list[tuple[int, int, int, object]] = []
+        tie = itertools.count()
+
+        def push(source) -> None:
+            try:
+                key, seq, vseed, vlen, kind = next(source)
+            except StopIteration:
+                return
+            # Highest seq first within a key: invert seq for the heap.
+            heapq.heappush(heap, (key, -seq, next(tie), (vseed, vlen, kind, source)))
+
+        consumed: dict[object, list[int]] = {}
+        for source in self._scan_sources(start_key, consumed):
+            push(source)
+
+        last_key = None
+        while heap and len(results) < count:
+            key, _negseq, _tie, (vseed, vlen, kind, source) = heapq.heappop(heap)
+            push(source)
+            if key == last_key:
+                continue  # older version of an already-emitted key
+            last_key = key
+            if kind == KIND_PUT:
+                results.append((key, Value(vseed, vlen)))
+                self._stats.user_bytes_read += self.config.key_bytes + vlen
+
+        latency += self._charge_scan_reads(consumed)
+        self._stats.scans += 1
+        self.clock.advance(latency)
+        return latency, results
+
+    def flush(self) -> None:
+        """Flush the memtable and run compactions to completion."""
+        self._ensure_open()
+        if self.wal is not None:
+            self.wal.sync()
+        if len(self.memtable):
+            self._rotate_memtable()
+        self._flush_immutables()
+        self._run_compactions()
+
+    def close(self) -> None:
+        """Flush everything and refuse further operations."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    @property
+    def stats(self) -> KVStats:
+        """Cumulative application-level statistics."""
+        return self._stats
+
+    @property
+    def disk_bytes_used(self) -> int:
+        """Filesystem space occupied (the store owns its filesystem)."""
+        return self.fs.used_bytes
+
+    # ------------------------------------------------------------------
+    # Write-path internals
+    # ------------------------------------------------------------------
+    def _after_write(self) -> float:
+        """Rotate/flush/compact as needed; return stall penalty."""
+        if self.memtable.full:
+            self._rotate_memtable()
+            self._flush_immutables()
+            self._run_compactions()
+        return self._stall_penalty()
+
+    def _rotate_memtable(self) -> None:
+        self._immutables.append((self.memtable, self.wal))
+        self.memtable = MemTable(self.config)
+        if self.config.wal_enabled:
+            self.wal = WriteAheadLog(self.fs, self.config, next(self._wal_ids))
+
+    def _flush_immutables(self) -> None:
+        while self._immutables:
+            memtable, wal = self._immutables.pop(0)
+            if wal is not None:
+                wal.sync()
+            arrays = memtable.sorted_arrays()
+            if len(arrays[0]):
+                for table in split_into_tables(self._next_table_id, self.config, *arrays):
+                    self.fs.create(table.filename)
+                    self.fs.append(table.filename, table.data_bytes, background=True)
+                    self.flushed_bytes += table.data_bytes
+                    self.version.add(0, table)
+            if wal is not None:
+                wal.discard()
+
+    def _run_compactions(self) -> None:
+        while (compaction := self.picker.pick(self.version)) is not None:
+            self.executor.run(compaction, self.version)
+
+    def _stall_penalty(self) -> float:
+        """RocksDB-style slowdown/stop based on device backlog."""
+        backlog = self.fs.device.backlog_seconds()
+        config = self.config
+        penalty = 0.0
+        if backlog > config.backlog_hard_limit or \
+                len(self.version.levels[0]) >= config.l0_stop_files:
+            penalty = max(0.0, backlog - config.backlog_hard_limit)
+            penalty += (config.backlog_hard_limit - config.backlog_soft_limit) \
+                * config.slowdown_factor
+        elif backlog > config.backlog_soft_limit:
+            penalty = (backlog - config.backlog_soft_limit) * config.slowdown_factor
+        self.stall_seconds += penalty
+        return penalty
+
+    # ------------------------------------------------------------------
+    # Read-path internals
+    # ------------------------------------------------------------------
+    def _find(self, key: int) -> tuple[float, Value | None] | None:
+        """Locate the newest version of *key*; None if unknown."""
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return 0.0, self._to_value(entry)
+        for memtable, _wal in reversed(self._immutables):
+            entry = memtable.get(key)
+            if entry is not None:
+                return 0.0, self._to_value(entry)
+        latency = 0.0
+        for table in self.version.levels[0]:
+            if not table.may_contain(key):
+                continue
+            idx = table.find(key)
+            latency += self._charge_block_read(table, max(idx, 0))
+            if idx >= 0:
+                return latency, self._entry_value(table, idx)
+        for level in range(1, self.config.num_levels):
+            table = self.version.find_table(level, key) if self.version.levels[level] else None
+            if table is None or not table.may_contain(key):
+                continue
+            idx = table.find(key)
+            latency += self._charge_block_read(table, max(idx, 0))
+            if idx >= 0:
+                return latency, self._entry_value(table, idx)
+        return (latency, None) if latency else None
+
+    def _charge_block_read(self, table, idx: int) -> float:
+        offset, nbytes = table.read_extent(idx)
+        read_latency, _ = self.fs.pread(table.filename, offset, nbytes)
+        return read_latency
+
+    def _entry_value(self, table, idx: int) -> Value | None:
+        _key, _seq, vseed, vlen, kind = table.entry(idx)
+        if kind == KIND_DELETE:
+            return None
+        return Value(vseed, vlen)
+
+    @staticmethod
+    def _to_value(entry: tuple[int, int, int, int]) -> Value | None:
+        _seq, vseed, vlen, kind = entry
+        if kind == KIND_DELETE:
+            return None
+        return Value(vseed, vlen)
+
+    def _scan_sources(self, start_key: int, consumed: dict):
+        """Iterators over every data source, each yielding
+        (key, seq, vseed, vlen, kind) in key order."""
+
+        def from_memtable(memtable: MemTable):
+            def generate():
+                for key, (seq, vseed, vlen, kind) in memtable.range_items(start_key):
+                    yield key, seq, vseed, vlen, kind
+            return generate()
+
+        yield from_memtable(self.memtable)
+        for memtable, _wal in self._immutables:
+            yield from_memtable(memtable)
+
+        def from_table(table):
+            first = int(np.searchsorted(table.keys, start_key))
+            window = [first, first]
+            consumed[table] = window
+
+            def generate():
+                for idx in range(first, table.nentries):
+                    window[1] = idx + 1
+                    yield table.entry(idx)
+            return generate()
+
+        for _level, table in self.version.all_tables():
+            if table.max_key >= start_key:
+                yield from_table(table)
+
+    def _charge_scan_reads(self, consumed: dict) -> float:
+        """One sequential read per table for the entries a scan consumed."""
+        latency = 0.0
+        for table, (first, end) in consumed.items():
+            if end <= first:
+                continue
+            offset = int(table._offsets[first])
+            nbytes = int(table._offsets[end]) - offset
+            read_latency, _ = self.fs.pread(table.filename, offset, min(nbytes, table.data_bytes - offset))
+            latency += read_latency
+        return latency
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _next_table_id(self) -> int:
+        return next(self._table_ids)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("the LSM store is closed")
+
+    def check_invariants(self) -> None:
+        """Verify manifest and table consistency (test support)."""
+        self.version.check_invariants()
+        for _level, table in self.version.all_tables():
+            table.check_invariants()
+            assert self.fs.exists(table.filename)
+            assert self.fs.file_size(table.filename) == table.data_bytes

@@ -1,0 +1,25 @@
+"""Workload generation and the single-user-thread runner."""
+
+from repro.workload.keys import (
+    HotspotKeys,
+    KeyChooser,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    make_chooser,
+)
+from repro.workload.runner import RunOutcome, load_sequential, run_workload
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "RunOutcome",
+    "load_sequential",
+    "run_workload",
+    "KeyChooser",
+    "UniformKeys",
+    "SequentialKeys",
+    "ZipfianKeys",
+    "HotspotKeys",
+    "make_chooser",
+]

@@ -1,0 +1,102 @@
+"""Drives a key-value store with a workload on the virtual clock.
+
+The runner is the paper's single user thread (§3.2): it issues one
+operation at a time, each op advancing the virtual clock by its
+latency, and invokes a sampling callback at a fixed virtual-time
+interval so metrics become a time series (the paper's 10-minute
+averages map to our sampling windows; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import rng as rng_mod
+from repro.errors import NoSpaceError
+from repro.kv.api import KVStore
+from repro.kv.values import value_for
+from repro.workload.keys import make_chooser
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class RunOutcome:
+    """What happened during a (partial) workload run."""
+
+    ops_issued: int = 0
+    out_of_space: bool = False
+    load_seconds: float = 0.0
+
+
+def load_sequential(store: KVStore, spec: WorkloadSpec) -> RunOutcome:
+    """Ingest all keys in sequential order (the paper's load phase)."""
+    outcome = RunOutcome()
+    start = store_clock(store).now
+    try:
+        for key in range(spec.nkeys):
+            store.put(key, value_for(key, 0, spec.value_bytes))
+            outcome.ops_issued += 1
+        store.flush()
+    except NoSpaceError:
+        outcome.out_of_space = True
+    outcome.load_seconds = store_clock(store).now - start
+    return outcome
+
+
+def run_workload(
+    store: KVStore,
+    spec: WorkloadSpec,
+    seed: int = rng_mod.DEFAULT_SEED,
+    stop_when: Callable[[], bool] = lambda: False,
+    sample_interval: float | None = None,
+    on_sample: Callable[[], None] | None = None,
+    max_ops: int | None = None,
+) -> RunOutcome:
+    """Run the measured phase until *stop_when* (or *max_ops*).
+
+    ``on_sample`` fires whenever the virtual clock crosses a sampling
+    boundary.  Returns the run outcome; an out-of-space condition ends
+    the run and is reported rather than raised (the paper reports
+    RocksDB running out of space for large datasets, §4.4).
+    """
+    clock = store_clock(store)
+    key_rng = rng_mod.substream(seed, "workload-keys")
+    op_rng = rng_mod.substream(seed, "workload-ops")
+    chooser = make_chooser(spec.distribution, spec.nkeys, key_rng)
+    outcome = RunOutcome()
+    version = 1
+    next_sample = clock.now + sample_interval if sample_interval else None
+
+    check_every = 64  # amortize the stop_when callback
+    try:
+        while True:
+            if max_ops is not None and outcome.ops_issued >= max_ops:
+                break
+            if outcome.ops_issued % check_every == 0 and stop_when():
+                break
+            key = chooser.next_key()
+            draw = op_rng.random()
+            if draw < spec.read_fraction:
+                store.get(key)
+            elif draw < spec.read_fraction + spec.scan_fraction:
+                store.scan(key, spec.scan_length)
+            else:
+                store.put(key, value_for(key, version, spec.value_bytes))
+                version += 1
+            outcome.ops_issued += 1
+            if next_sample is not None and clock.now >= next_sample:
+                on_sample()
+                next_sample += sample_interval
+                if next_sample <= clock.now:
+                    # A stall carried the clock past several boundaries;
+                    # resynchronize instead of firing empty windows.
+                    next_sample = clock.now + sample_interval
+    except NoSpaceError:
+        outcome.out_of_space = True
+    return outcome
+
+
+def store_clock(store: KVStore):
+    """The store's virtual clock (both engines expose ``.clock``)."""
+    return store.clock

@@ -1,0 +1,39 @@
+"""Workload specification (§3.2 of the paper).
+
+The default mirrors the paper: update-only, uniformly random keys,
+16-byte keys with 4000-byte values, single user thread, preceded by a
+sequential load of the whole dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the single user thread does during the measured phase."""
+
+    nkeys: int
+    value_bytes: int = 4000
+    read_fraction: float = 0.0  # 0.0 = write-only; 0.5 = the paper's mixed workload
+    distribution: str = "uniform"
+    scan_fraction: float = 0.0
+    scan_length: int = 100
+
+    def __post_init__(self) -> None:
+        if self.nkeys <= 0:
+            raise ConfigError("nkeys must be positive")
+        if self.value_bytes < 0:
+            raise ConfigError("value_bytes cannot be negative")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.scan_fraction <= 1.0 - self.read_fraction:
+            raise ConfigError("scan_fraction + read_fraction must be <= 1")
+
+    @property
+    def dataset_bytes(self) -> int:
+        """Application dataset size: keys plus values (16-byte keys)."""
+        return self.nkeys * (16 + self.value_bytes)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite: tiny devices that exercise the
+same code paths as the paper-scale configurations but run in
+milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.flash.config import SSDConfig
+from repro.flash.ssd import SSD
+from repro.units import usec
+
+
+def make_tiny_config(**overrides) -> SSDConfig:
+    """A 1024-page device: 32 blocks of 32 pages, ~12% over-provisioning."""
+    params = dict(
+        name="tiny",
+        page_size=4096,
+        pages_per_block=32,
+        nblocks=32,
+        hw_overprovision=0.25,
+        read_latency=usec(80.0),
+        page_read_time=usec(10.0),
+        program_time=usec(200.0),
+        erase_time=usec(2000.0),
+        channels=8,
+        write_cache_bytes=64 * 1024,
+        write_latency=usec(20.0),
+        gc_low_watermark=0.07,
+        gc_high_watermark=0.15,
+    )
+    params.update(overrides)
+    return SSDConfig(**params)
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def tiny_config() -> SSDConfig:
+    return make_tiny_config()
+
+
+@pytest.fixture
+def tiny_ssd(tiny_config, clock) -> SSD:
+    return SSD(tiny_config, clock)

@@ -1,0 +1,126 @@
+"""Tests for experiment orchestration and the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import Engine, ExperimentSpec, build_stack, run_experiment
+from repro.core.metrics import end_to_end_write_amplification
+from repro.errors import ConfigError
+from repro.flash.state import DriveState
+from repro.units import MIB
+
+FAST = dict(
+    capacity_bytes=24 * MIB,
+    duration_capacity_writes=2.0,
+    sample_interval=0.05,
+    max_ops=30_000,
+)
+
+
+class TestSpec:
+    def test_nkeys_from_fraction(self):
+        spec = ExperimentSpec(capacity_bytes=100 * MIB, dataset_fraction=0.5,
+                              value_bytes=4000)
+        assert spec.nkeys == int(50 * MIB / 4016)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentSpec(dataset_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ExperimentSpec(sample_interval=0)
+
+    def test_workload_reflects_spec(self):
+        spec = ExperimentSpec(value_bytes=128, read_fraction=0.5)
+        workload = spec.workload()
+        assert workload.value_bytes == 128
+        assert workload.read_fraction == 0.5
+
+
+class TestBuildStack:
+    def test_stack_components_wired(self):
+        spec = ExperimentSpec(**FAST)
+        clock, ssd, device, partition, fs, store, iostat, trace = build_stack(spec)
+        assert store.clock is clock
+        assert fs.device is partition
+        assert partition.parent is device
+        assert device.ssd is ssd
+        assert trace is None
+
+    def test_op_partition_restricts_space(self):
+        spec = ExperimentSpec(op_reserved_fraction=0.25, **FAST)
+        _clock, ssd, _device, partition, fs, _store, _iostat, _trace = build_stack(spec)
+        assert partition.npages == int(ssd.npages * 0.75)
+        assert fs.capacity_bytes < ssd.capacity_bytes
+
+    def test_engine_selection(self):
+        lsm = build_stack(ExperimentSpec(engine=Engine.LSM, **FAST))[5]
+        btree = build_stack(ExperimentSpec(engine=Engine.BTREE, **FAST))[5]
+        assert lsm.name == "lsm"
+        assert btree.name == "btree"
+
+    def test_preconditioned_drive_is_full(self):
+        spec = ExperimentSpec(drive_state=DriveState.PRECONDITIONED, **FAST)
+        ssd = build_stack(spec)[1]
+        assert ssd.utilization() == 1.0
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def lsm_result(self):
+        return run_experiment(ExperimentSpec(engine=Engine.LSM, **FAST))
+
+    @pytest.fixture(scope="class")
+    def btree_result(self):
+        return run_experiment(ExperimentSpec(engine=Engine.BTREE, **FAST))
+
+    def test_produces_samples(self, lsm_result):
+        assert len(lsm_result.samples) > 5
+        times = [s.t for s in lsm_result.samples]
+        assert times == sorted(times)
+
+    def test_steady_summary_present(self, lsm_result):
+        assert lsm_result.steady is not None
+        assert lsm_result.steady.kv_tput > 0
+
+    def test_wa_metrics_sane(self, lsm_result, btree_result):
+        for result in (lsm_result, btree_result):
+            final = result.samples[-1]
+            assert final.wa_a > 1.0
+            assert final.wa_d >= 1.0
+            assert end_to_end_write_amplification(final) >= final.wa_a
+
+    def test_space_accounting(self, lsm_result, btree_result):
+        assert lsm_result.peak_space_amp > 1.0
+        assert btree_result.peak_space_amp > 1.0
+        assert 0 < lsm_result.peak_disk_utilization <= 1.0
+
+    def test_engine_contrast_lsm_faster_btree_smaller(self, lsm_result, btree_result):
+        """The paper's headline contrast at matched settings."""
+        assert lsm_result.steady.kv_tput > btree_result.steady.kv_tput
+        assert lsm_result.peak_space_amp > btree_result.peak_space_amp
+
+    def test_completed_flag(self, lsm_result):
+        assert lsm_result.completed
+        assert not lsm_result.out_of_space
+
+    def test_lba_trace_optional(self):
+        spec = ExperimentSpec(engine=Engine.BTREE, trace_lba=True, **FAST)
+        result = run_experiment(spec)
+        assert result.lba_histogram is not None
+        assert 0.0 <= result.lba_never_written <= 1.0
+
+    def test_out_of_space_reported_not_raised(self):
+        spec = ExperimentSpec(engine=Engine.LSM, capacity_bytes=24 * MIB,
+                              dataset_fraction=0.95, duration_capacity_writes=2.0,
+                              sample_interval=0.1)
+        result = run_experiment(spec)
+        assert result.out_of_space
+        assert not result.completed
+
+    def test_deterministic_given_seed(self):
+        spec = ExperimentSpec(engine=Engine.LSM, seed=11, **FAST)
+        a = run_experiment(spec)
+        b = run_experiment(spec)
+        assert a.smart == b.smart
+        assert a.ops_issued == b.ops_issued

@@ -1,0 +1,88 @@
+"""Tests for table rendering and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 22.0]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.1234], [123.4], [5.0], [0]])
+        assert "0.123" in text
+        assert "123" in text
+        assert "5.00" in text
+
+    def test_series_thinning(self):
+        rows = [[i, i * 2] for i in range(100)]
+        text = render_series("t", ["a", "b"], rows, max_points=10)
+        body = text.splitlines()[3:]
+        assert len(body) == 10
+        assert body[0].startswith("0")
+        assert body[-1].startswith("99")
+
+    def test_series_short_not_thinned(self):
+        rows = [[i] for i in range(5)]
+        text = render_series("t", ["a"], rows, max_points=10)
+        assert len(text.splitlines()) == 3 + 5
+
+
+class TestCli:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out
+
+    def test_figures_listing(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig2", "fig5", "fig11"):
+            assert fig in out
+
+    def test_pitfalls_listing(self, capsys):
+        assert main(["pitfalls"]) == 0
+        out = capsys.readouterr().out
+        assert "seven benchmarking pitfalls" in out
+        assert "guideline" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main([
+            "run", "--engine", "lsm", "--capacity-mib", "24",
+            "--dataset-fraction", "0.4", "--duration", "1.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WA-D" in out
+        assert "steady state" in out
+
+    def test_run_btree_on_optane(self, capsys):
+        code = main([
+            "run", "--engine", "btree", "--ssd", "ssd3", "--capacity-mib", "24",
+            "--dataset-fraction", "0.3", "--duration", "1.0",
+        ])
+        assert code == 0
+        assert "btree on ssd3" in capsys.readouterr().out
+
+    def test_run_figure_to_file(self, tmp_path, capsys, monkeypatch):
+        # fig4 is among the fastest figures; run it at the small scale.
+        out_file = tmp_path / "fig.txt"
+        from repro.core import figures
+
+        monkeypatch.setitem(figures.SCALES, "small", figures.SMALL)
+        code = main(["run-figure", "fig4", "--scale", "small",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert "LBA" in out_file.read_text()
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-figure", "fig99"])

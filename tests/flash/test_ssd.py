@@ -1,0 +1,137 @@
+"""Tests for the SSD device model: timing, SMART, cache behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.errors import OutOfRangeError
+from repro.flash.ssd import SSD
+from tests.conftest import make_tiny_config
+
+
+class TestSmartAccounting:
+    def test_host_write_counted(self, tiny_ssd):
+        tiny_ssd.write_range(0, 4)
+        assert tiny_ssd.smart.host_bytes_written == 4 * 4096
+        assert tiny_ssd.smart.host_write_requests == 1
+        assert tiny_ssd.smart.nand_bytes_written >= 4 * 4096
+
+    def test_read_counted(self, tiny_ssd):
+        tiny_ssd.write_range(0, 4)
+        tiny_ssd.read_range(0, 4)
+        assert tiny_ssd.smart.host_bytes_read == 4 * 4096
+        assert tiny_ssd.smart.host_read_requests == 1
+
+    def test_wad_starts_at_one(self, tiny_ssd):
+        assert tiny_ssd.device_write_amplification() == 1.0
+        tiny_ssd.write_range(0, 10)
+        assert tiny_ssd.device_write_amplification() == 1.0
+
+    def test_gc_shows_up_in_smart(self, tiny_ssd):
+        n = tiny_ssd.npages
+        rng = np.random.default_rng(0)
+        tiny_ssd.write_range(0, n)
+        for _ in range(10):
+            tiny_ssd.write_pages(rng.permutation(n)[: n // 2].astype(np.int64))
+        assert tiny_ssd.smart.gc_bytes_relocated > 0
+        assert tiny_ssd.smart.blocks_erased > 0
+        assert tiny_ssd.device_write_amplification() > 1.0
+
+    def test_trim_counted(self, tiny_ssd):
+        tiny_ssd.write_range(0, 10)
+        tiny_ssd.trim_all()
+        assert tiny_ssd.smart.trim_commands == 1
+        assert tiny_ssd.utilization() == 0.0
+
+
+class TestTiming:
+    def test_small_write_sees_cache_latency(self, tiny_ssd):
+        latency = tiny_ssd.write_range(0, 1)
+        # One page: transfer + write latency floor, well under 1 ms.
+        assert 0 < latency < 1e-3
+
+    def test_burst_write_stalls_past_cache(self, tiny_config, clock):
+        ssd = SSD(tiny_config, clock)
+        small = ssd.write_range(0, 1)
+        big = ssd.write_range(0, 800)  # ~3 MiB >> 64 KiB cache
+        assert big > small * 50
+
+    def test_background_write_returns_zero_latency(self, tiny_ssd):
+        assert tiny_ssd.write_range(0, 200, background=True) == 0.0
+        assert tiny_ssd.backlog_seconds() > 0
+
+    def test_drain_advances_clock(self, tiny_ssd, clock):
+        tiny_ssd.write_range(0, 400, background=True)
+        backlog = tiny_ssd.backlog_seconds()
+        assert backlog > 0
+        waited = tiny_ssd.drain()
+        assert waited == pytest.approx(backlog)
+        assert tiny_ssd.backlog_seconds() == 0.0
+
+    def test_settle_discards_backlog(self, tiny_ssd, clock):
+        tiny_ssd.write_range(0, 400, background=True)
+        tiny_ssd.settle()
+        assert tiny_ssd.backlog_seconds() == 0.0
+        assert clock.now == 0.0
+
+    def test_reads_slower_under_write_backlog(self, tiny_ssd):
+        idle_read = tiny_ssd.read_range(0, 1)
+        tiny_ssd.write_range(0, tiny_ssd.npages, background=True)
+        busy_read = tiny_ssd.read_range(0, 1)
+        assert busy_read > idle_read
+
+    def test_backlog_decays_as_time_passes(self, tiny_ssd, clock):
+        tiny_ssd.write_range(0, 400, background=True)
+        before = tiny_ssd.backlog_seconds()
+        clock.advance(before / 2)
+        after = tiny_ssd.backlog_seconds()
+        assert after == pytest.approx(before / 2)
+
+
+class TestByteAddressable:
+    def make_optane(self, clock):
+        config = make_tiny_config(
+            name="optane", byte_addressable=True, hw_overprovision=0.0
+        )
+        return SSD(config, clock)
+
+    def test_no_gc_ever(self, clock):
+        ssd = self.make_optane(clock)
+        n = ssd.npages
+        rng = np.random.default_rng(1)
+        ssd.write_range(0, n)
+        for _ in range(10):
+            ssd.write_pages(rng.permutation(n)[: n // 2].astype(np.int64))
+        assert ssd.device_write_amplification() == 1.0
+        assert ssd.smart.blocks_erased == 0
+
+    def test_mapping_tracked(self, clock):
+        ssd = self.make_optane(clock)
+        ssd.write_range(5, 3)
+        assert ssd.is_mapped(5)
+        assert not ssd.is_mapped(20)
+        ssd.trim_range(5, 3)
+        assert not ssd.is_mapped(5)
+
+    def test_utilization(self, clock):
+        ssd = self.make_optane(clock)
+        ssd.write_range(0, ssd.npages // 2)
+        assert ssd.utilization() == pytest.approx(0.5, abs=0.01)
+
+
+class TestBounds:
+    def test_write_out_of_range(self, tiny_ssd):
+        with pytest.raises(OutOfRangeError):
+            tiny_ssd.write_range(tiny_ssd.npages - 1, 2)
+
+    def test_read_out_of_range(self, tiny_ssd):
+        with pytest.raises(OutOfRangeError):
+            tiny_ssd.read_range(-1, 2)
+
+    def test_zero_length_ops_free(self, tiny_ssd):
+        assert tiny_ssd.write_range(0, 0) == 0.0
+        assert tiny_ssd.read_range(0, 0) == 0.0
+        tiny_ssd.trim_range(0, 0)
+        assert tiny_ssd.smart.host_write_requests == 0

@@ -1,0 +1,158 @@
+"""Unit and property tests for the extent allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, NoSpaceError
+from repro.fs.allocator import ExtentAllocator
+
+
+class TestBasics:
+    def test_starts_fully_free(self):
+        alloc = ExtentAllocator(100)
+        assert alloc.free_pages == 100
+        assert alloc.free_extents() == [(0, 100)]
+
+    def test_simple_alloc_free_roundtrip(self):
+        alloc = ExtentAllocator(100)
+        extents = alloc.alloc(10)
+        assert sum(n for _, n in extents) == 10
+        assert alloc.free_pages == 90
+        for start, n in extents:
+            alloc.free(start, n)
+        assert alloc.free_pages == 100
+        assert alloc.free_extents() == [(0, 100)]
+        alloc.check_invariants()
+
+    def test_alloc_too_large_raises(self):
+        alloc = ExtentAllocator(10)
+        with pytest.raises(NoSpaceError):
+            alloc.alloc(11)
+
+    def test_alloc_zero_rejected(self):
+        alloc = ExtentAllocator(10)
+        with pytest.raises(ConfigError):
+            alloc.alloc(0)
+
+    def test_double_free_detected(self):
+        alloc = ExtentAllocator(100)
+        [(start, n)] = alloc.alloc(10, contiguous=True)
+        alloc.free(start, n)
+        with pytest.raises(ConfigError):
+            alloc.free(start, n)
+
+    def test_contiguous_respected(self):
+        alloc = ExtentAllocator(100, strategy="first-fit")
+        [(s1, n1)] = alloc.alloc(40, contiguous=True)
+        assert n1 == 40
+        alloc.alloc(50)
+        alloc.free(s1, 40)
+        with pytest.raises(NoSpaceError):
+            alloc.alloc(41, contiguous=True)
+        [(s2, n2)] = alloc.alloc(40, contiguous=True)
+        assert (s2, n2) == (s1, 40)
+
+
+class TestNextFitBehaviour:
+    def test_rotor_walks_forward(self):
+        """Consecutive allocations land at increasing addresses even when
+        earlier space is freed."""
+        alloc = ExtentAllocator(1000, strategy="next-fit")
+        [(s1, _)] = alloc.alloc(100, contiguous=True)
+        alloc.free(s1, 100)
+        [(s2, _)] = alloc.alloc(100, contiguous=True)
+        assert s2 > s1  # did not immediately reuse the freed space
+
+    def test_rotor_wraps_around(self):
+        alloc = ExtentAllocator(300, strategy="next-fit")
+        allocated = []
+        for _ in range(3):
+            [(s, n)] = alloc.alloc(100, contiguous=True)
+            allocated.append((s, n))
+        for s, n in allocated:
+            alloc.free(s, n)
+        [(s, _)] = alloc.alloc(100, contiguous=True)
+        assert s == 0  # wrapped to the beginning
+
+    def test_scatter_eventually_covers_address_space(self):
+        """The aged-ext4 behaviour behind Fig 4: create/delete churn
+        touches the whole address space over time."""
+        alloc = ExtentAllocator(1024, strategy="scatter", seed=3)
+        touched: set[int] = set()
+        import collections
+        held = collections.deque()
+        for _ in range(300):
+            extents = alloc.alloc(64)
+            for start, n in extents:
+                touched.update(range(start, start + n))
+            held.append(extents)
+            if len(held) > 8:
+                for start, n in held.popleft():
+                    alloc.free(start, n)
+        assert len(touched) / 1024 > 0.95
+
+    def test_first_fit_reuses_immediately(self):
+        alloc = ExtentAllocator(1000, strategy="first-fit")
+        [(s1, _)] = alloc.alloc(100, contiguous=True)
+        alloc.free(s1, 100)
+        [(s2, _)] = alloc.alloc(100, contiguous=True)
+        assert s2 == s1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            ExtentAllocator(10, strategy="best-fit")
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.alloc(30, contiguous=True)[0]
+        b = alloc.alloc(30, contiguous=True)[0]
+        alloc.alloc(40)
+        alloc.free(a[0], a[1])
+        alloc.free(b[0], b[1])
+        assert alloc.free_extents() == [(0, 60)]
+        alloc.check_invariants()
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 40)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_random_alloc_free_keeps_invariants(self, ops):
+        alloc = ExtentAllocator(512)
+        held: list[tuple[int, int]] = []
+        for kind, size in ops:
+            if kind == "alloc":
+                if size > alloc.free_pages:
+                    with pytest.raises(NoSpaceError):
+                        alloc.alloc(size)
+                else:
+                    held.extend(alloc.alloc(size))
+            elif held:
+                start, n = held.pop(0)
+                alloc.free(start, n)
+            alloc.check_invariants()
+        assert alloc.free_pages == 512 - sum(n for _, n in held)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 30), min_size=1, max_size=30))
+    def test_no_extent_handed_out_twice(self, sizes):
+        alloc = ExtentAllocator(1024)
+        claimed: set[int] = set()
+        for size in sizes:
+            if size > alloc.free_pages:
+                break
+            for start, n in alloc.alloc(size):
+                pages = set(range(start, start + n))
+                assert not pages & claimed
+                claimed |= pages
+        alloc.check_invariants()

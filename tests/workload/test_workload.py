@@ -1,0 +1,159 @@
+"""Tests for workload specs, key distributions and the runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.block.device import BlockDevice
+from repro.core.clock import VirtualClock
+from repro.errors import ConfigError
+from repro.flash.ssd import SSD
+from repro.fs.filesystem import ExtentFilesystem
+from repro.lsm.config import LSMConfig
+from repro.lsm.store import LSMStore
+from repro.workload.keys import (
+    HotspotKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    make_chooser,
+)
+from repro.workload.runner import load_sequential, run_workload
+from repro.workload.spec import WorkloadSpec
+from tests.conftest import make_tiny_config
+
+
+def fresh_rng():
+    return rng_mod.substream(7, "test-keys")
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec(nkeys=100)
+        assert spec.value_bytes == 4000
+        assert spec.read_fraction == 0.0
+        assert spec.distribution == "uniform"
+
+    def test_dataset_bytes(self):
+        spec = WorkloadSpec(nkeys=10, value_bytes=4000)
+        assert spec.dataset_bytes == 10 * 4016
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(nkeys=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(nkeys=10, read_fraction=1.5)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(nkeys=10, read_fraction=0.8, scan_fraction=0.4)
+
+
+class TestKeyChoosers:
+    def test_uniform_in_range_and_deterministic(self):
+        a = UniformKeys(1000, fresh_rng()).batch(500)
+        b = UniformKeys(1000, fresh_rng()).batch(500)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 1000
+
+    def test_uniform_covers_space(self):
+        keys = UniformKeys(100, fresh_rng()).batch(5000)
+        assert len(np.unique(keys)) > 95
+
+    def test_sequential_wraps(self):
+        chooser = SequentialKeys(3, fresh_rng())
+        assert [chooser.next_key() for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_zipfian_skewed(self):
+        keys = ZipfianKeys(1000, fresh_rng(), theta=1.3).batch(5000)
+        assert keys.min() >= 0 and keys.max() < 1000
+        _values, counts = np.unique(keys, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(keys)
+        assert top_share > 0.3  # heavy hitters dominate
+
+    def test_zipfian_requires_theta(self):
+        with pytest.raises(ConfigError):
+            ZipfianKeys(100, fresh_rng(), theta=1.0)
+
+    def test_hotspot_concentration(self):
+        chooser = HotspotKeys(1000, fresh_rng(), hot_fraction=0.1,
+                              hot_probability=0.9)
+        keys = chooser.batch(5000)
+        hot_share = (keys < 100).mean()
+        assert 0.85 < hot_share < 0.95
+
+    def test_make_chooser_unknown(self):
+        with pytest.raises(ConfigError):
+            make_chooser("gaussian", 10, fresh_rng())
+
+
+def make_store():
+    clock = VirtualClock()
+    ssd = SSD(make_tiny_config(nblocks=128), clock)
+    fs = ExtentFilesystem(BlockDevice(ssd))
+    config = LSMConfig(memtable_bytes=8 * 1024, max_bytes_for_level_base=16 * 1024,
+                       target_file_bytes=8 * 1024)
+    return LSMStore(fs, clock, config)
+
+
+class TestRunner:
+    def test_load_sequential_ingests_all(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=300, value_bytes=100)
+        outcome = load_sequential(store, spec)
+        assert outcome.ops_issued == 300
+        assert not outcome.out_of_space
+        assert outcome.load_seconds > 0
+        _lat, value = store.get(299)
+        assert value is not None
+
+    def test_run_respects_max_ops(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100)
+        outcome = run_workload(store, spec, max_ops=250)
+        assert outcome.ops_issued == 250
+
+    def test_stop_when_callback(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100)
+        outcome = run_workload(
+            store, spec, stop_when=lambda: store.clock.now > 0.05, max_ops=100_000
+        )
+        assert store.clock.now > 0.05
+        assert outcome.ops_issued < 100_000
+
+    def test_mixed_workload_issues_reads(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100, read_fraction=0.5)
+        load_sequential(store, spec)
+        run_workload(store, spec, max_ops=400)
+        assert store.stats.gets > 100
+        assert store.stats.puts > 100 + 100  # load + update share
+
+    def test_sampling_callback_fires(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100)
+        ticks = []
+        run_workload(
+            store, spec, max_ops=2000,
+            sample_interval=0.01, on_sample=lambda: ticks.append(store.clock.now),
+        )
+        assert len(ticks) > 2
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            store = make_store()
+            spec = WorkloadSpec(nkeys=100, value_bytes=100)
+            run_workload(store, spec, seed=5, max_ops=500)
+            results.append(store.clock.now)
+        assert results[0] == results[1]
+
+    def test_scan_workload(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=50, value_bytes=64, scan_fraction=1.0,
+                            scan_length=10)
+        load_sequential(store, spec)
+        run_workload(store, spec, max_ops=20)
+        assert store.stats.scans == 20
