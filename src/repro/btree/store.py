@@ -52,6 +52,8 @@ class BTreeStore(KVStore):
         self._closed = False
         self._last_checkpoint = clock.now
         self.checkpoints = 0
+        self.scheduler = None  # event-driven checkpoints when attached
+        self._checkpoint_pending = False
         self.journal_bytes = 0
         self._journal_offset = 0
         self._journal_since_checkpoint = 0
@@ -279,12 +281,30 @@ class BTreeStore(KVStore):
     # ------------------------------------------------------------------
     # Checkpoints
     # ------------------------------------------------------------------
+    def attach_scheduler(self, scheduler) -> None:
+        """Run due checkpoints as scheduled events (DESIGN.md §4.2)."""
+        self.scheduler = scheduler
+
     def _maybe_checkpoint(self) -> None:
         due_by_time = (
             self.clock.now - self._last_checkpoint >= self.config.checkpoint_interval
         )
         due_by_log = self._journal_since_checkpoint >= self.config.checkpoint_log_bytes
-        if due_by_time or due_by_log:
+        if not (due_by_time or due_by_log):
+            return
+        if self.scheduler is None:
+            self._checkpoint()
+        elif not self._checkpoint_pending:
+            # The checkpoint "thread" wakes up off the user path: the
+            # dirty set it writes back is whatever is dirty when the
+            # event fires, not when the trigger crossed.
+            self._checkpoint_pending = True
+            self.scheduler.schedule(0.0, self._run_scheduled_checkpoint,
+                                    label="btree-checkpoint")
+
+    def _run_scheduled_checkpoint(self) -> None:
+        self._checkpoint_pending = False
+        if not self._closed:
             self._checkpoint()
 
     def _checkpoint(self) -> None:

@@ -14,7 +14,7 @@ import sys
 from repro.core.experiment import Engine, ExperimentSpec, run_experiment
 from repro.core.figures import FIGURES, SCALES
 from repro.core.pitfalls import PITFALLS, EvaluationPlan, check_plan, render_report
-from repro.core.report import render_series
+from repro.core.report import render_series, render_table
 from repro.flash.state import DriveState
 from repro.units import MIB
 
@@ -61,6 +61,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=3.5,
                      help="stop after host writes reach DURATION x capacity")
     run.add_argument("--seed", type=int, default=0xD1D0)
+    run.add_argument("--clients", type=int, default=1,
+                     help="concurrent clients; >1 runs on the event-driven "
+                          "scheduler with channel-parallel device timing")
     run.set_defaults(func=_cmd_run)
 
     pitfalls = sub.add_parser("pitfalls", help="print the 7-pitfall checklist")
@@ -95,6 +98,7 @@ def _cmd_run(args) -> int:
         op_reserved_fraction=args.op_reserved,
         duration_capacity_writes=args.duration,
         seed=args.seed,
+        nclients=args.clients,
     )
     result = run_experiment(spec)
     rows = [
@@ -110,6 +114,18 @@ def _cmd_run(args) -> int:
     ))
     if result.out_of_space:
         print("RUN ENDED: out of space")
+    if result.client_latencies is not None:
+        rows = [
+            [str(row["client"]), str(row["ops"]), f"{row['mean'] * 1e6:.0f}",
+             f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
+             f"{row['p99'] * 1e6:.0f}"]
+            for row in result.client_latencies.summary()
+        ]
+        print(render_table(
+            ["client", "ops", "mean us", "p50 us", "p95 us", "p99 us"],
+            rows,
+            title=f"per-client latency ({args.clients} clients)",
+        ))
     if result.steady:
         steady = result.steady
         print(

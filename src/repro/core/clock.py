@@ -1,10 +1,19 @@
 """Virtual clock shared by all simulated components.
 
-The simulation is single-threaded (the paper uses one user thread
-precisely to avoid concurrency effects, see §3.2), so a single
-monotonically increasing clock suffices.  Synchronous work (user-visible
-latency) advances the clock; background device work merely extends the
-device's busy horizon beyond the current time.
+In the paper's methodology the workload is single-threaded (one user
+thread precisely to avoid concurrency effects, §3.2): synchronous work
+(user-visible latency) advances the clock inline, and background device
+work merely extends the device's busy horizon beyond the current time.
+
+The discrete-event subsystem (DESIGN.md §4) generalizes this without
+changing the inline semantics: while a scheduler runs an event the
+clock is in *capture* mode — ``advance`` accumulates a step-local
+offset instead of moving global time, so a key-value operation executed
+inside one client's event observes a locally consistent ``now`` while
+events of other clients remain pending at earlier global times.  The
+scheduler turns the captured offset into the completion time of the
+step's follow-up event.  Outside of capture mode (the seed's inline
+path) the offset is permanently zero and behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -19,24 +28,58 @@ class VirtualClock:
         if start < 0:
             raise ConfigError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
+        self._offset = 0.0  # step-local latency accumulated in capture mode
+        self._capturing = False
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now
+        return self._now + self._offset
 
     def advance(self, dt: float) -> float:
         """Advance the clock by *dt* seconds and return the new time."""
         if dt < 0:
             raise ConfigError(f"cannot advance clock by negative dt {dt!r}")
-        self._now += dt
-        return self._now
+        if self._capturing:
+            self._offset += dt
+        else:
+            self._now += dt
+        return self.now
 
     def advance_to(self, t: float) -> float:
         """Advance the clock to absolute time *t* (no-op if in the past)."""
+        if t > self.now:
+            if self._capturing:
+                self._offset = t - self._now
+            else:
+                self._now = t
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Event-scheduler protocol (repro.sim.scheduler)
+    # ------------------------------------------------------------------
+    def begin_step(self, t: float) -> None:
+        """Enter capture mode at absolute event time *t*.
+
+        Global time jumps to *t* (events are popped in time order, so
+        this never moves backwards); subsequent ``advance`` calls
+        accumulate into the step-local offset.
+        """
+        if self._capturing:
+            raise ConfigError("clock is already capturing an event step")
         if t > self._now:
             self._now = t
-        return self._now
+        self._offset = 0.0
+        self._capturing = True
+
+    def end_step(self) -> float:
+        """Leave capture mode; returns the offset the step accumulated."""
+        if not self._capturing:
+            raise ConfigError("end_step without a matching begin_step")
+        offset = self._offset
+        self._offset = 0.0
+        self._capturing = False
+        return offset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"VirtualClock(now={self._now:.6f})"
+        return f"VirtualClock(now={self.now:.6f})"

@@ -26,7 +26,7 @@ from repro.block.partition import overprovisioned_partition, whole_device_partit
 from repro.btree.config import BTreeConfig
 from repro.btree.store import BTreeStore
 from repro.core.clock import VirtualClock
-from repro.core.metrics import MetricsCollector, Sample
+from repro.core.metrics import ClientLatencies, MetricsCollector, Sample
 from repro.core.steady_state import SteadySummary, summarize
 from repro.errors import ConfigError
 from repro.flash.gc import make_policy
@@ -36,6 +36,7 @@ from repro.flash.state import DriveState, apply_drive_state
 from repro.fs.filesystem import ExtentFilesystem
 from repro.lsm.config import LSMConfig
 from repro.lsm.store import LSMStore
+from repro.sim.clients import ClientPool
 from repro.units import MIB
 from repro.workload.runner import load_sequential, run_workload
 from repro.workload.spec import WorkloadSpec
@@ -66,6 +67,7 @@ class ExperimentSpec:
     op_reserved_fraction: float = 0.0  # software over-provisioning (§4.6)
     duration_capacity_writes: float = 3.5  # stop after host writes >= x*capacity
     max_ops: int | None = None
+    nclients: int = 1  # concurrent clients; >1 uses the event-driven pool
     sample_interval: float = 0.25
     seed: int = rng_mod.DEFAULT_SEED
     fs_strategy: str = "scatter"
@@ -82,6 +84,8 @@ class ExperimentSpec:
             raise ConfigError("duration_capacity_writes must be positive")
         if self.sample_interval <= 0:
             raise ConfigError("sample_interval must be positive")
+        if self.nclients < 1:
+            raise ConfigError("nclients must be >= 1")
 
     @property
     def nkeys(self) -> int:
@@ -115,6 +119,8 @@ class ExperimentResult:
     peak_space_amp: float
     lba_histogram: np.ndarray | None = None
     lba_never_written: float | None = None
+    client_latencies: ClientLatencies | None = None  # pool-driven runs only
+    per_client_ops: list[int] | None = None
 
     @property
     def completed(self) -> bool:
@@ -155,8 +161,17 @@ def build_stack(spec: ExperimentSpec):
     return clock, ssd, device, partition, fs, store, iostat, trace
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one full experiment and return its results."""
+def run_experiment(spec: ExperimentSpec,
+                   use_client_pool: bool | None = None) -> ExperimentResult:
+    """Run one full experiment and return its results.
+
+    ``use_client_pool`` overrides the driver choice: by default the
+    measured phase uses the seed's inline runner for ``nclients == 1``
+    and the event-driven :class:`~repro.sim.clients.ClientPool`
+    otherwise.  Forcing the pool at one client is the degenerate case
+    used by seed-compatibility tests — it must produce bit-identical
+    results.
+    """
     clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
     workload = spec.workload()
     collector = MetricsCollector(
@@ -172,19 +187,36 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     collector.start_measurement()
     peak_util = fs.utilization()
 
+    if use_client_pool is None:
+        use_client_pool = spec.nclients > 1
     target_bytes = int(spec.duration_capacity_writes * spec.capacity_bytes)
     run_start = clock.now
     outcome = load
     if not load.out_of_space:
-        outcome = run_workload(
-            store,
-            workload,
-            seed=spec.seed,
-            stop_when=lambda: collector.host_bytes_written() >= target_bytes,
-            sample_interval=spec.sample_interval,
-            on_sample=collector.sample,
-            max_ops=spec.max_ops,
-        )
+        stop_when = lambda: collector.host_bytes_written() >= target_bytes  # noqa: E731
+        if use_client_pool:
+            pool = ClientPool(
+                store,
+                workload,
+                spec.nclients,
+                seed=spec.seed,
+                stop_when=stop_when,
+                sample_interval=spec.sample_interval,
+                on_sample=collector.sample,
+                max_ops=spec.max_ops,
+                ssd=ssd,
+            )
+            outcome = pool.run()
+        else:
+            outcome = run_workload(
+                store,
+                workload,
+                seed=spec.seed,
+                stop_when=stop_when,
+                sample_interval=spec.sample_interval,
+                on_sample=collector.sample,
+                max_ops=spec.max_ops,
+            )
         # Close the series, unless the final window is too small to be
         # meaningful (partial windows distort windowed rates).
         if clock.now - run_start >= spec.sample_interval * 0.5 and (
@@ -211,6 +243,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         peak_space_amp=fs.peak_used_bytes / dataset,
         lba_histogram=trace.histogram if trace else None,
         lba_never_written=trace.fraction_never_written() if trace else None,
+        client_latencies=getattr(outcome, "latencies", None),
+        per_client_ops=getattr(outcome, "per_client_ops", None),
     )
 
 

@@ -15,17 +15,88 @@ Following §4.1's guideline, WA-A and WA-D are reported as *cumulative*
 ratios (total bytes up to time t) to avoid windowing oscillations; a
 windowed WA-D is also recorded because it is what explains throughput
 inflections (e.g. WiredTiger's drop when garbage collection starts).
+
+Multi-client runs additionally record a per-client latency series
+(:class:`ClientLatencies`): the paper's single-thread methodology only
+needs mean throughput, but under queue depth the *distribution* of
+per-operation latency is the signal (DESIGN.md §4.4), so the client
+pool feeds every completed operation's latency here and benchmarks
+report percentiles per depth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.block.iostat import IOStat
 from repro.core.clock import VirtualClock
+from repro.errors import ConfigError
 from repro.flash.ssd import SSD
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore
+
+
+class ClientLatencies:
+    """Per-client operation latency series with percentile summaries."""
+
+    def __init__(self, nclients: int):
+        if nclients < 1:
+            raise ConfigError("nclients must be >= 1")
+        self._series: list[list[float]] = [[] for _ in range(nclients)]
+
+    @property
+    def nclients(self) -> int:
+        """Number of client series being recorded."""
+        return len(self._series)
+
+    def record(self, client: int, latency: float) -> None:
+        """Record one completed operation's latency for *client*."""
+        self._series[client].append(latency)
+
+    def count(self, client: int | None = None) -> int:
+        """Operations recorded for one client (or the whole pool)."""
+        if client is not None:
+            return len(self._series[client])
+        return sum(len(series) for series in self._series)
+
+    def series(self, client: int) -> np.ndarray:
+        """One client's latencies in completion order."""
+        return np.asarray(self._series[client], dtype=np.float64)
+
+    def pooled(self) -> np.ndarray:
+        """All clients' latencies, concatenated by client id."""
+        if not self.count():
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate([self.series(c) for c in range(self.nclients)])
+
+    def percentile(self, q: float, client: int | None = None) -> float:
+        """The q-th latency percentile, pooled or for one client."""
+        data = self.pooled() if client is None else self.series(client)
+        if not data.size:
+            return 0.0
+        return float(np.percentile(data, q))
+
+    def mean(self, client: int | None = None) -> float:
+        """Mean latency, pooled or for one client."""
+        data = self.pooled() if client is None else self.series(client)
+        return float(data.mean()) if data.size else 0.0
+
+    def summary(self) -> list[dict[str, float]]:
+        """Per-client {ops, mean, p50, p95, p99} rows (seconds)."""
+        rows = []
+        for client in range(self.nclients):
+            data = self.series(client)
+            rows.append({
+                "client": client,
+                "ops": int(data.size),
+                "mean": float(data.mean()) if data.size else 0.0,
+                "p50": float(np.percentile(data, 50)) if data.size else 0.0,
+                "p95": float(np.percentile(data, 95)) if data.size else 0.0,
+                "p99": float(np.percentile(data, 99)) if data.size else 0.0,
+            })
+        return rows
 
 
 @dataclass

@@ -29,6 +29,24 @@ Background writes (flushes, compactions, checkpoints — work the engines
 perform off the user thread) extend the busy horizon without blocking
 the caller; engines translate backlog into write stalls themselves,
 like RocksDB's slowdown/stop conditions do.
+
+Channel-parallel timing (DESIGN.md §4.3)
+========================================
+
+The single-threaded model above folds the device's internal parallelism
+into scalar division (``/ channels``) plus a scalar read-contention
+penalty — adequate when only one operation is ever outstanding.  Under
+the discrete-event subsystem many clients keep multiple requests in
+flight, and queue depth interacts with channel-level parallelism (Roh
+et al.): reads on *different* channels overlap while reads on the
+*same* channel — or behind queued program/erase work — wait their turn.
+:meth:`SSD.enable_channel_timing` switches the device to a per-channel
+service model: every channel keeps its own busy horizon, program and
+erase work is striped page-wise round-robin, and a read's latency is
+the completion time of its slowest channel.  The scalar read-contention
+multiplier is then retired — contention *emerges* from the queues.  The
+scalar path is untouched, so single-client runs remain bit-identical to
+the seed model.
 """
 
 from __future__ import annotations
@@ -41,6 +59,28 @@ from repro.flash.config import SSDConfig
 from repro.flash.ftl import FlashTranslationLayer, WorkUnits
 from repro.flash.gc import GCPolicy
 from repro.flash.smart import SmartAttributes
+
+
+class ChannelTimeline:
+    """Per-channel busy horizons: the device as a set of FIFO servers.
+
+    Each channel serves its queued flash work in arrival order; the
+    striping cursor rotates so that consecutive small writes land on
+    different channels, like an interleaving controller.
+    """
+
+    def __init__(self, nchannels: int, start: float = 0.0):
+        self.busy = [float(start)] * nchannels
+        self.cursor = 0
+
+    def backlog(self, now: float) -> float:
+        """Mean seconds of queued work per channel (the drain horizon)."""
+        total = sum(max(0.0, b - now) for b in self.busy)
+        return total / len(self.busy)
+
+    def max_backlog(self, now: float) -> float:
+        """Seconds until the most-loaded channel goes idle."""
+        return max(0.0, max(self.busy) - now)
 
 
 class SSD:
@@ -62,6 +102,7 @@ class SSD:
             self.ftl = FlashTranslationLayer(config, policy)
             self._mapped = None
         self._busy_until = 0.0
+        self._channels: ChannelTimeline | None = None
 
     # ------------------------------------------------------------------
     # Geometry passthrough (device-protocol surface used by upper layers)
@@ -118,15 +159,18 @@ class SSD:
             self.ftl.read_range(start, npages)
         cfg = self.config
         nbytes = npages * cfg.page_size
-        latency = (
-            cfg.read_latency
-            + npages * cfg.page_read_time / cfg.channels
-            + nbytes / cfg.bus_bytes_per_s
-        )
-        backlog = self.backlog_seconds()
-        if backlog > 0 and cfg.read_contention > 0:
-            saturation = min(1.0, backlog / cfg.read_contention_window)
-            latency *= 1.0 + cfg.read_contention * saturation
+        if self._channels is not None:
+            latency = self._read_channelized(start, npages, nbytes)
+        else:
+            latency = (
+                cfg.read_latency
+                + npages * cfg.page_read_time / cfg.channels
+                + nbytes / cfg.bus_bytes_per_s
+            )
+            backlog = self.backlog_seconds()
+            if backlog > 0 and cfg.read_contention > 0:
+                saturation = min(1.0, backlog / cfg.read_contention_window)
+                latency *= 1.0 + cfg.read_contention * saturation
         self.smart.host_bytes_read += nbytes
         self.smart.nand_bytes_read += nbytes
         self.smart.host_read_requests += 1
@@ -150,14 +194,49 @@ class SSD:
     # ------------------------------------------------------------------
     # Busy-horizon queries used by engines for stall decisions
     # ------------------------------------------------------------------
+    def enable_channel_timing(self) -> None:
+        """Switch to the per-channel service model (DESIGN.md §4.3).
+
+        Any scalar backlog accumulated so far carries over: each channel
+        starts at the current busy horizon, preserving the drain time.
+        Idempotent; used by the multi-client driver before the measured
+        phase.
+        """
+        if self._channels is None:
+            start = max(self._busy_until, self.clock.now)
+            self._channels = ChannelTimeline(self.config.channels, start)
+
+    @property
+    def channel_timing_enabled(self) -> bool:
+        """Whether the per-channel service model is active."""
+        return self._channels is not None
+
+    def channel_backlogs(self) -> list[float]:
+        """Per-channel seconds of queued work (empty in scalar mode)."""
+        if self._channels is None:
+            return []
+        now = self.clock.now
+        return [max(0.0, b - now) for b in self._channels.busy]
+
     def backlog_seconds(self, at: float | None = None) -> float:
-        """Seconds of queued flash work not yet completed at time *at*."""
+        """Seconds of queued flash work not yet completed at time *at*.
+
+        In channel mode this is the *mean* per-channel backlog — the
+        horizon at which the device drains under perfect interleaving,
+        which is what the controller cache and engine stall heuristics
+        care about; per-channel skew is visible to reads only.
+        """
         now = self.clock.now if at is None else at
+        if self._channels is not None:
+            return self._channels.backlog(now)
         return max(0.0, self._busy_until - now)
 
     def drain(self) -> float:
         """Advance the clock until the device is idle; returns the wait."""
-        wait = self.backlog_seconds()
+        if self._channels is not None:
+            wait = self._channels.max_backlog(self.clock.now)
+        else:
+            wait = self.backlog_seconds()
         if wait > 0:
             self.clock.advance(wait)
         return wait
@@ -169,6 +248,8 @@ class SSD:
         model the idle gap before the measured run starts.
         """
         self._busy_until = self.clock.now
+        if self._channels is not None:
+            self._channels.busy = [self.clock.now] * len(self._channels.busy)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -224,7 +305,7 @@ class SSD:
         self.smart.blocks_erased += work.erases
 
         now = self.clock.now
-        flash_time = self._flash_time(work)
+        fold = 1.0
         if (
             cfg.fold_penalty > 1.0
             and self.backlog_seconds() > 1.25 * cfg.cache_drain_window
@@ -235,7 +316,18 @@ class SSD:
             # self-clock at the cache window and never reach this
             # threshold; bursty background writers (LSM flushes and
             # compactions) push far past it and pay the folding cost.
-            flash_time *= cfg.fold_penalty
+            fold = cfg.fold_penalty
+        if self._channels is not None:
+            self._queue_flash_work(work, fold, now)
+            if background:
+                return 0.0
+            transfer = nbytes / cfg.bus_bytes_per_s
+            completion = max(
+                now + transfer + cfg.write_latency,
+                now + self.backlog_seconds() - cfg.cache_drain_window,
+            )
+            return completion - now
+        flash_time = self._flash_time(work) * fold
         start = max(self._busy_until, now)
         self._busy_until = start + flash_time
         if background:
@@ -246,3 +338,54 @@ class SSD:
             self._busy_until - cfg.cache_drain_window,
         )
         return completion - now
+
+    def _queue_flash_work(self, work: WorkUnits, fold: float, now: float) -> None:
+        """Stripe program/erase work across the per-channel horizons.
+
+        Pages go round-robin from the interleaving cursor; erases (a
+        block-granularity operation) land on the cursor channel.  The
+        cursor rotates past the channels a request touched, so small
+        requests spread over the array instead of piling on channel 0.
+        """
+        cfg = self.config
+        channels = self._channels
+        busy = channels.busy
+        nchannels = len(busy)
+        pages = work.programmed_pages
+        if pages:
+            base, extra = divmod(pages, nchannels)
+            cursor = channels.cursor
+            for i in range(nchannels):
+                npages_here = base + (1 if i < extra else 0)
+                if npages_here == 0:
+                    break
+                c = (cursor + i) % nchannels
+                busy[c] = max(busy[c], now) + npages_here * cfg.program_time * fold
+            channels.cursor = (cursor + max(extra, min(pages, 1))) % nchannels
+        if work.erases:
+            c = channels.cursor
+            busy[c] = max(busy[c], now) + work.erases * cfg.erase_time * fold
+            channels.cursor = (c + 1) % nchannels
+
+    def _read_channelized(self, start: int, npages: int, nbytes: int) -> float:
+        """Latency of a read served by per-channel FIFO queues.
+
+        Page *start + i* maps to channel ``(start + i) % channels`` (the
+        static striping of a consecutive LBA range); the request
+        completes when its slowest channel finishes, so reads queue
+        behind same-channel work and overlap across channels.
+        """
+        cfg = self.config
+        busy = self._channels.busy
+        nchannels = len(busy)
+        now = self.clock.now
+        base, extra = divmod(npages, nchannels)
+        first = start % nchannels
+        completion = now
+        for i in range(min(npages, nchannels)):
+            c = (first + i) % nchannels
+            npages_here = base + (1 if i < extra else 0)
+            done = max(busy[c], now) + npages_here * cfg.page_read_time
+            busy[c] = done
+            completion = max(completion, done)
+        return cfg.read_latency + nbytes / cfg.bus_bytes_per_s + (completion - now)

@@ -50,6 +50,12 @@ class LSMConfig:
     backlog_hard_limit: float = 1.0
     slowdown_factor: float = 0.08
 
+    # Event-driven mode only (DESIGN.md §4.2): immutable memtables that
+    # may await a scheduled background flush before the write path
+    # takes over and flushes inline (RocksDB's
+    # ``max_write_buffer_number`` stop condition).
+    max_immutable_memtables: int = 2
+
     def __post_init__(self) -> None:
         if self.memtable_bytes <= 0:
             raise ConfigError("memtable_bytes must be positive")
@@ -63,6 +69,8 @@ class LSMConfig:
             raise ConfigError("target_file_bytes must be positive")
         if not 0 < self.backlog_soft_limit <= self.backlog_hard_limit:
             raise ConfigError("backlog limits must satisfy 0 < soft <= hard")
+        if self.max_immutable_memtables < 1:
+            raise ConfigError("max_immutable_memtables must be >= 1")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target of level *level* (1-based; L0 is count-triggered)."""

@@ -13,6 +13,15 @@ dynamics of Fig 2a.
 Read path: memtable, immutable memtables, L0 newest-to-oldest, then
 one file per sorted level; bloom filters (memory-resident) gate the
 data-block reads.
+
+In event-driven mode (``attach_scheduler``, DESIGN.md §4.2) flushes
+and compactions are not run inline: a memtable rotation enqueues a
+background job that acquires the single background-worker resource,
+flushes the oldest immutable memtable and then runs compactions one
+picker round per event — device work lands on the timeline when the
+"background thread" gets to it, and the write path only takes over
+(flushing inline, RocksDB's stop condition) once too many immutable
+memtables pile up.
 """
 
 from __future__ import annotations
@@ -60,6 +69,9 @@ class LSMStore(KVStore):
         self._closed = False
         self.flushed_bytes = 0  # memtable flush traffic (part of WA-A)
         self.stall_seconds = 0.0  # cumulative write-stall time
+        self.scheduler = None  # event-driven background work when attached
+        self._bg_worker = None  # FIFO background-thread resource
+        self.inline_takeovers = 0  # write-path flushes forced by pile-up
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -169,6 +181,13 @@ class LSMStore(KVStore):
         """Filesystem space occupied (the store owns its filesystem)."""
         return self.fs.used_bytes
 
+    def attach_scheduler(self, scheduler) -> None:
+        """Run flushes/compactions as scheduled background tasks."""
+        from repro.sim.resources import Resource
+
+        self.scheduler = scheduler
+        self._bg_worker = Resource(scheduler, capacity=1, name="lsm-bg")
+
     # ------------------------------------------------------------------
     # Write-path internals
     # ------------------------------------------------------------------
@@ -176,8 +195,17 @@ class LSMStore(KVStore):
         """Rotate/flush/compact as needed; return stall penalty."""
         if self.memtable.full:
             self._rotate_memtable()
-            self._flush_immutables()
-            self._run_compactions()
+            if self.scheduler is None:
+                self._flush_immutables()
+                self._run_compactions()
+            elif len(self._immutables) > self.config.max_immutable_memtables:
+                # Too many immutables awaiting the background worker:
+                # the write path stops and catches up inline.
+                self.inline_takeovers += 1
+                self._flush_immutables()
+                self._run_compactions()
+            else:
+                self.scheduler.spawn(self._background_job(), label="lsm-flush")
         return self._stall_penalty()
 
     def _rotate_memtable(self) -> None:
@@ -189,21 +217,43 @@ class LSMStore(KVStore):
     def _flush_immutables(self) -> None:
         while self._immutables:
             memtable, wal = self._immutables.pop(0)
-            if wal is not None:
-                wal.sync()
-            arrays = memtable.sorted_arrays()
-            if len(arrays[0]):
-                for table in split_into_tables(self._next_table_id, self.config, *arrays):
-                    self.fs.create(table.filename)
-                    self.fs.append(table.filename, table.data_bytes, background=True)
-                    self.flushed_bytes += table.data_bytes
-                    self.version.add(0, table)
-            if wal is not None:
-                wal.discard()
+            self._flush_one(memtable, wal)
+
+    def _flush_one(self, memtable: MemTable, wal: WriteAheadLog | None) -> None:
+        if wal is not None:
+            wal.sync()
+        arrays = memtable.sorted_arrays()
+        if len(arrays[0]):
+            for table in split_into_tables(self._next_table_id, self.config, *arrays):
+                self.fs.create(table.filename)
+                self.fs.append(table.filename, table.data_bytes, background=True)
+                self.flushed_bytes += table.data_bytes
+                self.version.add(0, table)
+        if wal is not None:
+            wal.discard()
 
     def _run_compactions(self) -> None:
         while (compaction := self.picker.pick(self.version)) is not None:
             self.executor.run(compaction, self.version)
+
+    def _background_job(self):
+        """One scheduled flush + follow-up compactions (event mode).
+
+        The job queues on the background-worker resource (flushes and
+        compactions serialize, like a one-thread RocksDB background
+        pool) and yields between compaction rounds so each lands as its
+        own event on the timeline.
+        """
+        yield self._bg_worker.request()
+        try:
+            if self._immutables:
+                memtable, wal = self._immutables.pop(0)
+                self._flush_one(memtable, wal)
+            while (compaction := self.picker.pick(self.version)) is not None:
+                self.executor.run(compaction, self.version)
+                yield 0.0
+        finally:
+            self._bg_worker.release()
 
     def _stall_penalty(self) -> float:
         """RocksDB-style slowdown/stop based on device backlog."""

@@ -1,0 +1,177 @@
+"""The multi-client workload driver (DESIGN.md §4.4).
+
+A :class:`ClientPool` runs *nclients* closed-loop clients against one
+shared store on the discrete-event scheduler.  Each client is a
+cooperative task: it issues an operation (whose latency is captured by
+the clock's step offset), suspends until the operation's completion
+time, then issues the next — so at any instant up to *nclients*
+operations are outstanding and the device's per-channel queues see a
+real queue depth.
+
+Reproducibility rules:
+
+* client 0 draws from the seed runner's RNG substreams
+  (``workload-keys`` / ``workload-ops``), so a one-client pool issues
+  the exact operation stream of :func:`repro.workload.runner.
+  run_workload` and its outcome is bit-identical to the seed path;
+* client *i* > 0 draws from ``client{i}-keys`` / ``client{i}-ops``
+  substreams — statistically independent, deterministic per seed;
+* all cross-client ordering flows through the event heap's ``(time,
+  seq)`` key, so a run is a pure function of (seed, spec, nclients).
+
+``stop_when`` / ``max_ops`` / sampling are pool-global, mirroring the
+inline runner: the sampling callback fires when *any* client's
+completion crosses the boundary, and the op budget counts operations
+across all clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import rng as rng_mod
+from repro.core.metrics import ClientLatencies
+from repro.errors import ConfigError, NoSpaceError
+from repro.kv.api import KVStore
+from repro.sim.scheduler import Scheduler, TraceEntry
+from repro.workload.keys import make_chooser
+from repro.workload.runner import CHECK_EVERY, issue_one_op, validate_sampling
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class PoolOutcome:
+    """What happened during a (partial) multi-client run.
+
+    Duck-compatible with :class:`repro.workload.runner.RunOutcome`
+    (``ops_issued`` / ``out_of_space`` / ``load_seconds``) so the
+    experiment layer treats both drivers uniformly.
+    """
+
+    ops_issued: int = 0
+    out_of_space: bool = False
+    load_seconds: float = 0.0
+    run_seconds: float = 0.0
+    per_client_ops: list[int] = field(default_factory=list)
+    latencies: ClientLatencies | None = None
+    trace: list[TraceEntry] | None = None
+    events_run: int = 0
+
+
+class ClientPool:
+    """N concurrent closed-loop clients sharing one store."""
+
+    def __init__(
+        self,
+        store: KVStore,
+        spec: WorkloadSpec,
+        nclients: int,
+        seed: int = rng_mod.DEFAULT_SEED,
+        stop_when: Callable[[], bool] = lambda: False,
+        sample_interval: float | None = None,
+        on_sample: Callable[[], None] | None = None,
+        max_ops: int | None = None,
+        ssd=None,
+        record_trace: bool = False,
+    ):
+        if nclients < 1:
+            raise ConfigError("nclients must be >= 1")
+        validate_sampling(sample_interval, on_sample)
+        self.store = store
+        self.spec = spec
+        self.nclients = nclients
+        self.seed = seed
+        self.stop_when = stop_when
+        self.sample_interval = sample_interval
+        self.on_sample = on_sample
+        self.max_ops = max_ops
+        self.ssd = ssd
+        self.record_trace = record_trace
+
+    def run(self) -> PoolOutcome:
+        """Drive all clients until stop/budget/out-of-space; blocking."""
+        clock = self.store.clock
+        scheduler = Scheduler(clock, record_trace=self.record_trace)
+        if self.nclients > 1:
+            # The degenerate one-client case keeps the seed's inline
+            # background work and scalar device timing — bit-identical
+            # to run_workload; concurrency turns on the event-driven
+            # engine mode and the per-channel device model.
+            self.store.attach_scheduler(scheduler)
+            if self.ssd is not None:
+                self.ssd.enable_channel_timing()
+        outcome = PoolOutcome(
+            per_client_ops=[0] * self.nclients,
+            latencies=ClientLatencies(self.nclients),
+        )
+        self._stop = False
+        self._outcome = outcome
+        self._next_sample = (
+            clock.now + self.sample_interval if self.sample_interval else None
+        )
+        start = clock.now
+        for client_id in range(self.nclients):
+            scheduler.spawn(self._client(client_id), label=f"client{client_id}")
+        try:
+            scheduler.run()
+        except NoSpaceError:
+            # Raised from a *scheduled* event (LSM flush/compaction,
+            # B+Tree checkpoint) rather than a client's own operation;
+            # the run ends and is reported, like the inline runner.
+            outcome.out_of_space = True
+            self._stop = True
+        outcome.run_seconds = clock.now - start
+        outcome.trace = scheduler.trace
+        outcome.events_run = scheduler.events_run
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Client task
+    # ------------------------------------------------------------------
+    def _client(self, client_id: int):
+        spec = self.spec
+        outcome = self._outcome
+        clock = self.store.clock
+        if client_id == 0:
+            key_label, op_label = "workload-keys", "workload-ops"
+        else:
+            key_label = f"client{client_id}-keys"
+            op_label = f"client{client_id}-ops"
+        key_rng = rng_mod.substream(self.seed, key_label)
+        op_rng = rng_mod.substream(self.seed, op_label)
+        chooser = make_chooser(spec.distribution, spec.nkeys, key_rng)
+        version = 1
+        while True:
+            if self._stop:
+                break
+            if self.max_ops is not None and outcome.ops_issued >= self.max_ops:
+                break
+            if outcome.ops_issued % CHECK_EVERY == 0 and self.stop_when():
+                self._stop = True
+                break
+            issued_at = clock.now
+            try:
+                version = issue_one_op(self.store, spec, chooser, op_rng, version)
+            except NoSpaceError:
+                outcome.out_of_space = True
+                self._stop = True
+                break
+            outcome.ops_issued += 1
+            outcome.per_client_ops[client_id] += 1
+            outcome.latencies.record(client_id, clock.now - issued_at)
+            self._maybe_sample(clock)
+            yield 0.0  # suspend until this operation's completion time
+
+    def _maybe_sample(self, clock) -> None:
+        """The inline runner's boundary-crossing sampler, pool-global."""
+        if self._next_sample is None:
+            return
+        now = clock.now
+        if now >= self._next_sample:
+            self.on_sample()
+            self._next_sample += self.sample_interval
+            if self._next_sample <= now:
+                # A stall carried the clock past several boundaries;
+                # resynchronize instead of firing empty windows.
+                self._next_sample = now + self.sample_interval

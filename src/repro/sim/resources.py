@@ -1,0 +1,85 @@
+"""Capacity-limited resources with FIFO wait queues (DESIGN.md §4.1).
+
+A :class:`Resource` models a contended facility — a background worker
+pool, a device queue slot — with a fixed number of tokens.  Tasks
+acquire a token by yielding a request::
+
+    def job(resource):
+        yield resource.request()
+        try:
+            ...  # hold the token
+            yield 0.010
+        finally:
+            resource.release()
+
+Grants are strictly FIFO: requests queue in arrival order (which, under
+the deterministic scheduler, is itself reproducible), so two runs with
+the same seed see identical wait orders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.sim.scheduler import Scheduler, Task
+
+
+class Request:
+    """A pending acquisition; yielded by a task, granted by the resource."""
+
+    __slots__ = ("resource", "task")
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+        self.task: Task | None = None
+
+    def _enqueue(self, task: Task) -> None:
+        """Called by the scheduler when a task yields this request."""
+        self.task = task
+        self.resource._admit(self)
+
+
+class Resource:
+    """*capacity* tokens handed to waiting tasks in FIFO order."""
+
+    def __init__(self, scheduler: Scheduler, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ConfigError("resource capacity must be >= 1")
+        self.scheduler = scheduler
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a token."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """A yieldable acquisition request (one token)."""
+        return Request(self)
+
+    def release(self) -> None:
+        """Return a token; the oldest waiter (if any) is granted next."""
+        if self.in_use <= 0:
+            raise ConfigError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        self._grant_next()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting and self.in_use < self.capacity:
+            granted = self._waiting.popleft()
+            self.in_use += 1
+            self.scheduler.schedule(
+                0.0, granted.task._resume, label=f"{self.name}-grant"
+            )

@@ -1,0 +1,171 @@
+"""The deterministic discrete-event scheduler (DESIGN.md §4.1).
+
+Events live on a heap keyed on ``(time, seq)``: ties in virtual time
+are broken by insertion order, so a run is a pure function of the seed
+and the configuration — no wall-clock time, thread scheduling or hash
+ordering can perturb it.
+
+Two kinds of work run on the timeline:
+
+* **callbacks** — plain functions fired once at a scheduled time
+  (:meth:`Scheduler.schedule`);
+* **cooperative tasks** — generators that ``yield`` between steps
+  (:meth:`Scheduler.spawn`).  Yielding a ``float`` suspends the task
+  for that many virtual seconds; yielding a
+  :class:`repro.sim.resources.Request` suspends it until the resource
+  grants the request.
+
+While an event runs, the shared :class:`~repro.core.clock.VirtualClock`
+is in *capture* mode: ``clock.advance(dt)`` accumulates a step-local
+offset instead of moving global time, so a key-value operation executed
+inside one client's step observes a locally consistent ``clock.now``
+while other clients' events remain pending at earlier global times.
+The offset determines when the step's follow-up event fires, which is
+how per-operation latency turns into client think/completion times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterator
+
+from repro.core.clock import VirtualClock
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed event, as recorded by the trace."""
+
+    time: float
+    seq: int
+    label: str
+
+
+class _Event:
+    """A heap entry; ``cancelled`` entries are skipped when popped."""
+
+    __slots__ = ("time", "seq", "fn", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Task:
+    """A cooperative task: a generator stepped by the scheduler."""
+
+    def __init__(self, scheduler: "Scheduler", gen: Generator, label: str):
+        self._scheduler = scheduler
+        self._gen = gen
+        self.label = label
+        self.done = False
+        self.result = None
+
+    def _step(self, send_value=None) -> None:
+        """Run the generator to its next suspension point."""
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return
+        self._suspend(yielded)
+
+    def _suspend(self, yielded) -> None:
+        if isinstance(yielded, (int, float)):
+            self._scheduler.schedule(float(yielded), self._step, label=self.label)
+        elif hasattr(yielded, "_enqueue"):  # a Resource request
+            yielded._enqueue(self)
+        else:
+            raise ConfigError(
+                f"task {self.label!r} yielded {yielded!r}; tasks may yield a "
+                "delay in seconds or a resource request"
+            )
+
+    def _resume(self) -> None:
+        """Resume after a resource grant (called via a scheduled event)."""
+        self._step(None)
+
+
+class Scheduler:
+    """A discrete-event loop over a shared virtual clock."""
+
+    def __init__(self, clock: VirtualClock, record_trace: bool = False):
+        self.clock = clock
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self.trace: list[TraceEntry] | None = [] if record_trace else None
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (step-local while an event runs)."""
+        return self.clock.now
+
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 label: str = "event") -> _Event:
+        """Fire *fn* after *delay* virtual seconds; returns the event."""
+        if delay < 0:
+            raise ConfigError(f"cannot schedule an event {delay!r}s in the past")
+        return self.schedule_at(self.clock.now + delay, fn, label)
+
+    def schedule_at(self, time: float, fn: Callable[[], None],
+                    label: str = "event") -> _Event:
+        """Fire *fn* at absolute virtual time *time*."""
+        if time < self.clock.now:
+            raise ConfigError(
+                f"cannot schedule at {time!r}, before current time {self.clock.now!r}"
+            )
+        event = _Event(time, next(self._seq), fn, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def spawn(self, gen: Generator, label: str = "task",
+              delay: float = 0.0) -> Task:
+        """Start a cooperative task; its first step runs after *delay*."""
+        task = Task(self, gen, label)
+        self.schedule(delay, task._step, label=label)
+        return task
+
+    def step(self) -> bool:
+        """Run the earliest pending event; False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.begin_step(event.time)
+            try:
+                event.fn()
+            finally:
+                self.clock.end_step()
+            self.events_run += 1
+            if self.trace is not None:
+                self.trace.append(TraceEntry(event.time, event.seq, event.label))
+            return True
+        return False
+
+    def run(self, until: Callable[[], bool] | None = None) -> None:
+        """Run events in order until the heap drains (or *until* holds)."""
+        while self._heap:
+            if until is not None and until():
+                break
+            self.step()
+
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def trace_labels(self) -> Iterator[str]:
+        """Labels of executed events, in execution order (trace mode)."""
+        if self.trace is None:
+            raise ConfigError("scheduler was created without record_trace")
+        return (entry.label for entry in self.trace)

@@ -5,6 +5,11 @@ operation at a time, each op advancing the virtual clock by its
 latency, and invokes a sampling callback at a fixed virtual-time
 interval so metrics become a time series (the paper's 10-minute
 averages map to our sampling windows; see DESIGN.md §2).
+
+Multi-client workloads are driven by :class:`repro.sim.clients.
+ClientPool` on the discrete-event scheduler (DESIGN.md §4); it reuses
+:func:`issue_one_op` so a one-client pool issues the exact operation
+stream of this runner.
 """
 
 from __future__ import annotations
@@ -12,12 +17,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro import rng as rng_mod
-from repro.errors import NoSpaceError
+from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
 from repro.kv.values import value_for
-from repro.workload.keys import make_chooser
+from repro.workload.keys import KeyChooser, make_chooser
 from repro.workload.spec import WorkloadSpec
+
+
+#: How often (in completed ops) drivers re-evaluate ``stop_when``.
+#: Shared with the client pool so both drivers stop at the same op
+#: counts (part of the bit-identical seed-compatibility contract).
+CHECK_EVERY = 64
 
 
 @dataclass
@@ -44,6 +57,52 @@ def load_sequential(store: KVStore, spec: WorkloadSpec) -> RunOutcome:
     return outcome
 
 
+def validate_sampling(sample_interval: float | None,
+                      on_sample: Callable[[], None] | None) -> None:
+    """Fail fast on inconsistent sampling arguments.
+
+    ``sample_interval`` without ``on_sample`` used to surface as a
+    ``TypeError`` mid-run at the first boundary; both mismatches are
+    rejected at call time instead.
+    """
+    if (sample_interval is None) != (on_sample is None):
+        raise ConfigError(
+            "sample_interval and on_sample must be passed together "
+            f"(got sample_interval={sample_interval!r}, "
+            f"on_sample={'set' if on_sample else None!r})"
+        )
+    if sample_interval is not None and sample_interval <= 0:
+        raise ConfigError("sample_interval must be positive")
+
+
+def issue_one_op(
+    store: KVStore,
+    spec: WorkloadSpec,
+    chooser: KeyChooser,
+    op_rng: np.random.Generator,
+    version: int,
+) -> int:
+    """Issue one operation of *spec*; returns the next value version.
+
+    The op mix is drawn as cumulative fractions in a fixed order
+    (read, scan, delete, else update) so the operation stream for a
+    given RNG state is stable across drivers — the inline runner and
+    the event-driven client pool share this dispatch.
+    """
+    key = chooser.next_key()
+    draw = op_rng.random()
+    if draw < spec.read_fraction:
+        store.get(key)
+    elif draw < spec.read_fraction + spec.scan_fraction:
+        store.scan(key, spec.scan_length)
+    elif draw < spec.read_fraction + spec.scan_fraction + spec.delete_fraction:
+        store.delete(key)
+    else:
+        store.put(key, value_for(key, version, spec.value_bytes))
+        version += 1
+    return version
+
+
 def run_workload(
     store: KVStore,
     spec: WorkloadSpec,
@@ -60,6 +119,7 @@ def run_workload(
     the run and is reported rather than raised (the paper reports
     RocksDB running out of space for large datasets, §4.4).
     """
+    validate_sampling(sample_interval, on_sample)
     clock = store_clock(store)
     key_rng = rng_mod.substream(seed, "workload-keys")
     op_rng = rng_mod.substream(seed, "workload-ops")
@@ -68,22 +128,13 @@ def run_workload(
     version = 1
     next_sample = clock.now + sample_interval if sample_interval else None
 
-    check_every = 64  # amortize the stop_when callback
     try:
         while True:
             if max_ops is not None and outcome.ops_issued >= max_ops:
                 break
-            if outcome.ops_issued % check_every == 0 and stop_when():
+            if outcome.ops_issued % CHECK_EVERY == 0 and stop_when():
                 break
-            key = chooser.next_key()
-            draw = op_rng.random()
-            if draw < spec.read_fraction:
-                store.get(key)
-            elif draw < spec.read_fraction + spec.scan_fraction:
-                store.scan(key, spec.scan_length)
-            else:
-                store.put(key, value_for(key, version, spec.value_bytes))
-                version += 1
+            version = issue_one_op(store, spec, chooser, op_rng, version)
             outcome.ops_issued += 1
             if next_sample is not None and clock.now >= next_sample:
                 on_sample()

@@ -14,7 +14,12 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """What the single user thread does during the measured phase."""
+    """What one client does during the measured phase.
+
+    The remaining probability mass after reads, scans and deletes is
+    updates (the paper's default workload is update-only: all fractions
+    zero).
+    """
 
     nkeys: int
     value_bytes: int = 4000
@@ -22,6 +27,7 @@ class WorkloadSpec:
     distribution: str = "uniform"
     scan_fraction: float = 0.0
     scan_length: int = 100
+    delete_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nkeys <= 0:
@@ -32,6 +38,10 @@ class WorkloadSpec:
             raise ConfigError("read_fraction must be in [0, 1]")
         if not 0.0 <= self.scan_fraction <= 1.0 - self.read_fraction:
             raise ConfigError("scan_fraction + read_fraction must be <= 1")
+        if not 0.0 <= self.delete_fraction <= 1.0 - self.read_fraction - self.scan_fraction:
+            raise ConfigError(
+                "delete_fraction + scan_fraction + read_fraction must be <= 1"
+            )
 
     @property
     def dataset_bytes(self) -> int:

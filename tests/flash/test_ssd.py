@@ -135,3 +135,85 @@ class TestBounds:
         assert tiny_ssd.read_range(0, 0) == 0.0
         tiny_ssd.trim_range(0, 0)
         assert tiny_ssd.smart.host_write_requests == 0
+
+
+class TestChannelTiming:
+    """The per-channel service model (DESIGN.md §4.3)."""
+
+    def make_channelized(self, clock, **overrides):
+        ssd = SSD(make_tiny_config(**overrides), clock)
+        ssd.write_range(0, ssd.npages // 2)  # map some pages to read back
+        ssd.settle()
+        ssd.enable_channel_timing()
+        return ssd
+
+    def test_enable_is_idempotent(self, tiny_ssd):
+        tiny_ssd.enable_channel_timing()
+        timeline = tiny_ssd._channels
+        tiny_ssd.enable_channel_timing()
+        assert tiny_ssd._channels is timeline
+        assert tiny_ssd.channel_timing_enabled
+
+    def test_enable_carries_over_scalar_backlog(self, tiny_ssd):
+        tiny_ssd.write_range(0, 512, background=True)
+        before = tiny_ssd.backlog_seconds()
+        assert before > 0
+        tiny_ssd.enable_channel_timing()
+        assert tiny_ssd.backlog_seconds() == pytest.approx(before)
+
+    def test_reads_on_distinct_channels_overlap(self, clock):
+        ssd = self.make_channelized(clock)  # 8 channels
+        first = ssd.read_range(0, 1)   # channel 0
+        second = ssd.read_range(1, 1)  # channel 1: no queueing
+        assert second == pytest.approx(first)
+
+    def test_reads_on_same_channel_queue(self, clock):
+        ssd = self.make_channelized(clock)
+        first = ssd.read_range(0, 1)
+        queued = ssd.read_range(8, 1)  # 8 % 8 == channel 0 again
+        assert queued > first
+        assert queued - first == pytest.approx(ssd.config.page_read_time)
+
+    def test_wide_read_completes_with_slowest_channel(self, clock):
+        ssd = self.make_channelized(clock)
+        nchannels = ssd.config.channels
+        narrow = ssd.read_range(0, nchannels)      # one page per channel
+        ssd.settle()
+        wide = ssd.read_range(0, 4 * nchannels)    # four pages per channel
+        extra = wide - narrow
+        assert extra > 3 * ssd.config.page_read_time  # queueing, not averaging
+
+    def test_reads_queue_behind_write_backlog(self, clock):
+        ssd = self.make_channelized(clock)
+        idle = ssd.read_range(0, 1)
+        ssd.settle()
+        ssd.write_range(0, 512, background=True)  # queue program work
+        contended = ssd.read_range(0, 1)
+        assert contended > idle  # emergent contention, no scalar penalty
+
+    def test_write_backlog_matches_scalar_model(self, clock):
+        scalar = SSD(make_tiny_config(), clock)
+        channelized = SSD(make_tiny_config(), clock)
+        channelized.enable_channel_timing()
+        scalar.write_range(0, 256, background=True)
+        channelized.write_range(0, 256, background=True)
+        assert channelized.backlog_seconds() == pytest.approx(
+            scalar.backlog_seconds()
+        )
+
+    def test_drain_waits_for_slowest_channel(self, clock):
+        ssd = self.make_channelized(clock)
+        ssd.write_range(0, 3, background=True)  # uneven striping
+        assert max(ssd.channel_backlogs()) > 0
+        ssd.drain()
+        assert ssd.backlog_seconds() == 0.0
+        assert max(ssd.channel_backlogs()) == 0.0
+
+    def test_settle_clears_channels(self, clock):
+        ssd = self.make_channelized(clock)
+        ssd.write_range(0, 64, background=True)
+        ssd.settle()
+        assert ssd.channel_backlogs() == [0.0] * ssd.config.channels
+
+    def test_scalar_mode_reports_no_channel_backlogs(self, tiny_ssd):
+        assert tiny_ssd.channel_backlogs() == []

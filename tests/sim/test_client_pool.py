@@ -1,0 +1,160 @@
+"""Tests for the multi-client pool: determinism and seed compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import Engine, ExperimentSpec, build_stack, run_experiment
+from repro.errors import ConfigError
+from repro.sim.clients import ClientPool
+from repro.units import MIB
+from repro.workload.runner import load_sequential, run_workload
+
+#: Small but real: exercises flush/compaction/checkpoint paths in
+#: milliseconds.  The write-byte budget is set high so max_ops decides
+#: the run length deterministically.
+FAST = dict(
+    capacity_bytes=24 * MIB,
+    dataset_fraction=0.3,
+    duration_capacity_writes=50.0,
+    sample_interval=0.05,
+    max_ops=2500,
+)
+
+ENGINES = (Engine.LSM, Engine.BTREE)
+
+
+def loaded_stack(engine: Engine, nclients: int = 1, **overrides):
+    """A freshly built stack with the dataset loaded and drained."""
+    spec = ExperimentSpec(engine=engine, nclients=nclients, **FAST, **overrides)
+    clock, ssd, _device, _partition, _fs, store, _iostat, _trace = build_stack(spec)
+    load_sequential(store, spec.workload())
+    ssd.drain()
+    return spec, clock, ssd, store
+
+
+def run_pool(engine: Engine, nclients: int, seed: int = 7, **overrides):
+    spec, clock, ssd, store = loaded_stack(engine, nclients, **overrides)
+    pool = ClientPool(
+        store, spec.workload(), nclients, seed=seed,
+        max_ops=spec.max_ops, ssd=ssd, record_trace=True,
+    )
+    outcome = pool.run()
+    return outcome, clock, ssd, store
+
+
+class TestSeedCompatibility:
+    """A one-client pool must be bit-identical to the inline runner."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_client_matches_inline_runner(self, engine):
+        spec, clock_a, _ssd, store_a = loaded_stack(engine)
+        legacy = run_workload(store_a, spec.workload(), seed=7,
+                              max_ops=spec.max_ops)
+        outcome, clock_b, _ssd, store_b = run_pool(engine, nclients=1)
+        assert outcome.ops_issued == legacy.ops_issued
+        assert clock_b.now == clock_a.now  # bit-identical, not approx
+        assert store_b.stats.snapshot() == store_a.stats.snapshot()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_client_experiment_matches_legacy_path(self, engine):
+        spec = ExperimentSpec(engine=engine, **FAST)
+        legacy = run_experiment(spec)
+        pooled = run_experiment(spec, use_client_pool=True)
+        assert pooled.ops_issued == legacy.ops_issued
+        assert pooled.run_seconds == legacy.run_seconds
+        assert pooled.samples == legacy.samples
+        assert pooled.smart == legacy.smart
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_client_keeps_inline_engine_mode(self, engine):
+        outcome, _clock, ssd, store = run_pool(engine, nclients=1)
+        assert outcome.ops_issued == FAST["max_ops"]
+        assert store.scheduler is None  # degenerate case: seed behaviour
+        assert not ssd.channel_timing_enabled
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("nclients", (1, 4))
+    def test_same_seed_same_trace_and_stats(self, engine, nclients):
+        first, clock_a, _ssd, store_a = run_pool(engine, nclients)
+        second, clock_b, _ssd, store_b = run_pool(engine, nclients)
+        assert first.trace == second.trace  # identical event timeline
+        assert first.ops_issued == second.ops_issued
+        assert first.per_client_ops == second.per_client_ops
+        assert clock_a.now == clock_b.now
+        assert store_a.stats.snapshot() == store_b.stats.snapshot()
+
+    def test_different_seed_different_trace(self):
+        first, *_ = run_pool(Engine.LSM, nclients=4, seed=7)
+        second, *_ = run_pool(Engine.LSM, nclients=4, seed=8)
+        assert first.trace != second.trace
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_multi_client_enables_event_mode(self, engine):
+        outcome, _clock, ssd, store = run_pool(engine, nclients=4)
+        assert store.scheduler is not None
+        assert ssd.channel_timing_enabled
+        assert outcome.ops_issued == FAST["max_ops"]
+        assert sum(outcome.per_client_ops) == outcome.ops_issued
+        assert all(ops > 0 for ops in outcome.per_client_ops)
+        assert outcome.latencies.count() == outcome.ops_issued
+
+    def test_lsm_background_work_on_timeline(self):
+        outcome, *_ = run_pool(Engine.LSM, nclients=4)
+        labels = {entry.label for entry in outcome.trace}
+        assert "lsm-flush" in labels
+        assert "lsm-bg-grant" in labels
+
+    def test_btree_checkpoints_on_timeline(self):
+        outcome, *_ = run_pool(Engine.BTREE, nclients=4)
+        labels = {entry.label for entry in outcome.trace}
+        assert "btree-checkpoint" in labels
+
+    def test_more_clients_raise_virtual_throughput(self):
+        # Closed-loop clients overlap on the device channels, so the
+        # same op budget completes in less virtual time.
+        one, clock_one, *_ = run_pool(Engine.BTREE, nclients=1)
+        many, clock_many, *_ = run_pool(Engine.BTREE, nclients=16)
+        assert one.ops_issued == many.ops_issued
+        assert many.run_seconds < one.run_seconds
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_out_of_space_reported_not_raised(self, engine):
+        # Background work runs in its own scheduler events; a device
+        # filling up mid-flush must end the run like the inline path
+        # does, not escape run_experiment as an exception.
+        spec = ExperimentSpec(
+            engine=engine, capacity_bytes=24 * MIB, dataset_fraction=0.85,
+            duration_capacity_writes=60.0, sample_interval=0.05, nclients=4,
+        )
+        result = run_experiment(spec)
+        assert result.out_of_space
+        assert result.ops_issued > 0
+
+    def test_tail_latency_grows_with_depth(self):
+        one, *_ = run_pool(Engine.LSM, nclients=1)
+        many, *_ = run_pool(Engine.LSM, nclients=16)
+        assert many.latencies.percentile(99) > one.latencies.percentile(99)
+
+
+class TestValidation:
+    def test_nclients_validated(self):
+        _spec, _clock, ssd, store = loaded_stack(Engine.LSM)
+        with pytest.raises(ConfigError):
+            ClientPool(store, _spec.workload(), nclients=0)
+
+    def test_sampling_args_fail_fast(self):
+        spec, _clock, _ssd, store = loaded_stack(Engine.LSM)
+        with pytest.raises(ConfigError):
+            ClientPool(store, spec.workload(), nclients=2, sample_interval=0.1)
+        with pytest.raises(ConfigError):
+            ClientPool(store, spec.workload(), nclients=2,
+                       on_sample=lambda: None)
+
+    def test_spec_nclients_validated(self):
+        with pytest.raises(ConfigError):
+            ExperimentSpec(nclients=0)

@@ -1,0 +1,242 @@
+"""Tests for the discrete-event scheduler, tasks and resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.errors import ConfigError
+from repro.sim.resources import Resource
+from repro.sim.scheduler import Scheduler
+
+
+def make_scheduler(trace: bool = False):
+    clock = VirtualClock()
+    return Scheduler(clock, record_trace=trace), clock
+
+
+class TestEventOrdering:
+    def test_events_fire_in_time_order(self):
+        sched, clock = make_scheduler()
+        fired = []
+        sched.schedule(0.3, lambda: fired.append("c"))
+        sched.schedule(0.1, lambda: fired.append("a"))
+        sched.schedule(0.2, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+        assert clock.now == pytest.approx(0.3)
+
+    def test_ties_break_by_insertion_order(self):
+        sched, _clock = make_scheduler()
+        fired = []
+        for name in "abcde":
+            sched.schedule(0.5, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sched, clock = make_scheduler()
+        seen = []
+        sched.schedule(1.5, lambda: seen.append(clock.now))
+        sched.run()
+        assert seen == [1.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        sched, clock = make_scheduler()
+        clock.advance(1.0)
+        with pytest.raises(ConfigError):
+            sched.schedule(-0.1, lambda: None)
+        with pytest.raises(ConfigError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        sched, _clock = make_scheduler()
+        fired = []
+        event = sched.schedule(0.1, lambda: fired.append("x"))
+        sched.schedule(0.2, lambda: fired.append("y"))
+        event.cancelled = True
+        sched.run()
+        assert fired == ["y"]
+
+    def test_trace_records_time_seq_label(self):
+        sched, _clock = make_scheduler(trace=True)
+        sched.schedule(0.2, lambda: None, label="late")
+        sched.schedule(0.1, lambda: None, label="early")
+        sched.run()
+        assert [entry.label for entry in sched.trace] == ["early", "late"]
+        keys = [(entry.time, entry.seq) for entry in sched.trace]
+        assert keys == sorted(keys)
+
+
+class TestTasks:
+    def test_task_delays_accumulate(self):
+        sched, clock = make_scheduler()
+        ticks = []
+
+        def task():
+            for _ in range(3):
+                ticks.append(clock.now)
+                yield 0.5
+
+        sched.spawn(task())
+        sched.run()
+        assert ticks == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_captured_advance_becomes_completion_time(self):
+        # Work done via clock.advance inside a step suspends the task
+        # until its completion time, like a KV op's latency.
+        sched, clock = make_scheduler()
+        starts = []
+
+        def client():
+            for _ in range(2):
+                starts.append(clock.now)
+                clock.advance(0.25)  # the "operation latency"
+                yield 0.0
+
+        sched.spawn(client())
+        sched.run()
+        assert starts == pytest.approx([0.0, 0.25])
+        assert clock.now == pytest.approx(0.5)
+
+    def test_two_clients_overlap_in_time(self):
+        sched, clock = make_scheduler()
+        log = []
+
+        def client(name, latency):
+            for _ in range(2):
+                log.append((name, clock.now))
+                clock.advance(latency)
+                yield 0.0
+
+        sched.spawn(client("fast", 0.1))
+        sched.spawn(client("slow", 0.35))
+        sched.run()
+        # The fast client's second op starts before the slow client's
+        # first completes: the timeline interleaves.
+        assert log == [("fast", 0.0), ("slow", 0.0),
+                       ("fast", pytest.approx(0.1)), ("slow", pytest.approx(0.35))]
+
+    def test_task_result_recorded(self):
+        sched, _clock = make_scheduler()
+
+        def task():
+            yield 0.1
+            return 42
+
+        handle = sched.spawn(task())
+        sched.run()
+        assert handle.done
+        assert handle.result == 42
+
+    def test_invalid_yield_rejected(self):
+        sched, _clock = make_scheduler()
+
+        def task():
+            yield "not a delay"
+
+        sched.spawn(task())
+        with pytest.raises(ConfigError):
+            sched.run()
+
+
+class TestResources:
+    def test_fifo_grant_order(self):
+        sched, clock = make_scheduler()
+        resource = Resource(sched, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield resource.request()
+            order.append((name, clock.now))
+            yield hold
+            resource.release()
+
+        sched.spawn(worker("a", 0.2))
+        sched.spawn(worker("b", 0.2))
+        sched.spawn(worker("c", 0.2))
+        sched.run()
+        names = [n for n, _t in order]
+        times = [t for _n, t in order]
+        assert names == ["a", "b", "c"]
+        assert times == pytest.approx([0.0, 0.2, 0.4])
+
+    def test_capacity_allows_parallel_holders(self):
+        sched, clock = make_scheduler()
+        resource = Resource(sched, capacity=2)
+        grants = []
+
+        def worker(name):
+            yield resource.request()
+            grants.append((name, clock.now))
+            yield 0.3
+            resource.release()
+
+        for name in "abc":
+            sched.spawn(worker(name))
+        sched.run()
+        assert dict(grants)["a"] == pytest.approx(0.0)
+        assert dict(grants)["b"] == pytest.approx(0.0)
+        assert dict(grants)["c"] == pytest.approx(0.3)
+
+    def test_queue_depth_visible(self):
+        sched, _clock = make_scheduler()
+        resource = Resource(sched, capacity=1)
+        depths = []
+
+        def holder():
+            yield resource.request()
+            yield 1.0
+            depths.append(resource.queue_depth)
+            resource.release()
+
+        def waiter():
+            yield resource.request()
+            resource.release()
+
+        sched.spawn(holder())
+        sched.spawn(waiter())
+        sched.spawn(waiter())
+        sched.run()
+        assert depths == [2]
+
+    def test_release_of_idle_resource_rejected(self):
+        sched, _clock = make_scheduler()
+        resource = Resource(sched, capacity=1)
+        with pytest.raises(ConfigError):
+            resource.release()
+
+    def test_capacity_validated(self):
+        sched, _clock = make_scheduler()
+        with pytest.raises(ConfigError):
+            Resource(sched, capacity=0)
+
+
+class TestClockCapture:
+    def test_nested_capture_rejected(self):
+        clock = VirtualClock()
+        clock.begin_step(0.0)
+        with pytest.raises(ConfigError):
+            clock.begin_step(0.0)
+        clock.end_step()
+
+    def test_end_without_begin_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ConfigError):
+            clock.end_step()
+
+    def test_offset_does_not_leak_into_global_time(self):
+        clock = VirtualClock()
+        clock.begin_step(1.0)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(1.5)
+        offset = clock.end_step()
+        assert offset == pytest.approx(0.5)
+        assert clock.now == pytest.approx(1.0)
+
+    def test_advance_to_in_capture_mode(self):
+        clock = VirtualClock()
+        clock.begin_step(1.0)
+        clock.advance_to(1.75)
+        assert clock.now == pytest.approx(1.75)
+        assert clock.end_step() == pytest.approx(0.75)

@@ -47,6 +47,11 @@ class TestSpec:
             WorkloadSpec(nkeys=10, read_fraction=1.5)
         with pytest.raises(ConfigError):
             WorkloadSpec(nkeys=10, read_fraction=0.8, scan_fraction=0.4)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(nkeys=10, read_fraction=0.5, scan_fraction=0.3,
+                         delete_fraction=0.3)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(nkeys=10, delete_fraction=-0.1)
 
 
 class TestKeyChoosers:
@@ -157,3 +162,39 @@ class TestRunner:
         load_sequential(store, spec)
         run_workload(store, spec, max_ops=20)
         assert store.stats.scans == 20
+
+    def test_delete_workload_issues_deletes(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100, delete_fraction=0.3)
+        load_sequential(store, spec)
+        run_workload(store, spec, max_ops=400)
+        assert store.stats.deletes > 50
+        assert store.stats.puts > 100  # load + the update share
+
+    def test_delete_fraction_zero_stream_unchanged(self):
+        # Adding the delete branch must not perturb the op stream of
+        # pre-existing workloads (bit-identical seed behaviour).
+        clocks = []
+        for spec in (
+            WorkloadSpec(nkeys=100, value_bytes=100, read_fraction=0.4),
+            WorkloadSpec(nkeys=100, value_bytes=100, read_fraction=0.4,
+                         delete_fraction=0.0),
+        ):
+            store = make_store()
+            load_sequential(store, spec)
+            run_workload(store, spec, seed=11, max_ops=300)
+            assert store.stats.deletes == 0
+            clocks.append(store.clock.now)
+        assert clocks[0] == clocks[1]
+
+    def test_sampling_args_fail_fast(self):
+        store = make_store()
+        spec = WorkloadSpec(nkeys=100, value_bytes=100)
+        with pytest.raises(ConfigError):
+            run_workload(store, spec, sample_interval=0.1)
+        with pytest.raises(ConfigError):
+            run_workload(store, spec, on_sample=lambda: None)
+        with pytest.raises(ConfigError):
+            run_workload(store, spec, sample_interval=0.0,
+                         on_sample=lambda: None)
+        assert store.stats.ops == 0  # rejected before any op ran
