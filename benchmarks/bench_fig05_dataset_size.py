@@ -8,11 +8,18 @@ WA-D rises with dataset size and overtakes at large datasets.
 
 from benchmarks.conftest import run_once
 from repro.core.figures import fig5_dataset_size
+from repro.core.pitfalls import check_plan
 
 
 def test_fig5_dataset_size(benchmark, scale, archive):
     fig = run_once(benchmark, lambda: fig5_dataset_size(scale))
     archive("fig05_dataset_size", fig.text)
+
+    # The figure declares its grid through the campaign API; its own
+    # derived evaluation plan must not fall into pitfall 4 (single
+    # dataset size) — the pitfall this figure exists to demonstrate.
+    violated = {v.pitfall_id for v in check_plan(fig.data["campaign"].plan())}
+    assert 4 not in violated
 
     results = fig.data["results"]
 

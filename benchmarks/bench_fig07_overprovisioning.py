@@ -9,11 +9,17 @@ B+Tree gains moderately.
 
 from benchmarks.conftest import run_once
 from repro.core.figures import fig7_overprovisioning
+from repro.core.pitfalls import check_plan
 
 
 def test_fig7_overprovisioning(benchmark, scale, archive):
     fig = run_once(benchmark, lambda: fig7_overprovisioning(scale))
     archive("fig07_overprovisioning", fig.text)
+
+    # The grid sweeps the over-provisioning knob, so its derived plan
+    # must not fall into pitfall 6 (the one this figure demonstrates).
+    violated = {v.pitfall_id for v in check_plan(fig.data["campaign"].plan())}
+    assert 6 not in violated
 
     results = fig.data["results"]
     reserved = sorted({key[2] for key in results})[-1]

@@ -9,11 +9,17 @@ compaction bursts; the B+Tree varies by only ~2-3x.
 
 from benchmarks.conftest import run_once
 from repro.core.figures import fig9_ssd_types
+from repro.core.pitfalls import check_plan
 
 
 def test_fig9_ssd_types(benchmark, scale, archive):
     fig = run_once(benchmark, lambda: fig9_ssd_types(scale))
     archive("fig09_ssd_types", fig.text)
+
+    # The grid spans all three SSD classes, so its derived plan must
+    # not fall into pitfall 7 (the one this figure demonstrates).
+    violated = {v.pitfall_id for v in check_plan(fig.data["campaign"].plan())}
+    assert 7 not in violated
 
     results = fig.data["results"]
 

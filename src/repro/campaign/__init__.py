@@ -1,0 +1,26 @@
+"""Campaign orchestration: declarative grids of experiments.
+
+The paper's methodology is a *grid*, not a run (engines x SSDs x drive
+states x dataset sizes x over-provisioning).  This package expands a
+declarative :class:`CampaignSpec` into cells, runs them on a process
+pool, persists resumable JSONL results, and audits the grid itself
+against the seven pitfalls.
+"""
+
+from repro.campaign.runner import (
+    CampaignOutcome,
+    CellOutcome,
+    run_campaign,
+)
+from repro.campaign.spec import PRESETS, CampaignSpec
+from repro.campaign.store import CampaignStore, canonical_line
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignSpec",
+    "CampaignStore",
+    "CellOutcome",
+    "PRESETS",
+    "canonical_line",
+    "run_campaign",
+]

@@ -1,0 +1,53 @@
+"""JSON-lines persistence for campaign results.
+
+One line per completed cell, keyed by the cell spec's stable hash.
+Appends are canonical (sorted keys, fixed separators) so that a
+resumed campaign's merged output is byte-identical to an uninterrupted
+run; a truncated final line — the signature of a killed process — is
+ignored on load rather than poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def canonical_line(record: dict) -> str:
+    """The canonical serialized form of one cell record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class CampaignStore:
+    """Append-only JSONL store of completed cell records."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict]:
+        """Completed records by cell hash; tolerates a torn last line."""
+        if not self.path.exists():
+            return {}
+        records: dict[str, dict] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted campaign
+                cell = record.get("cell")
+                if cell:
+                    records[cell] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed cell record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(canonical_line(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

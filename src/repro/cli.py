@@ -3,6 +3,7 @@
 ``repro figures``                list the reproducible paper figures
 ``repro run-figure fig5``        reproduce one figure and print its rows
 ``repro run --engine lsm ...``   run a single custom experiment
+``repro campaign --preset ...``  run a grid of experiments on a worker pool
 ``repro pitfalls``               print the seven-pitfall checklist
 """
 
@@ -11,12 +12,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.campaign import PRESETS, run_campaign
 from repro.core.experiment import Engine, ExperimentSpec, run_experiment
 from repro.core.figures import FIGURES, SCALES
 from repro.core.pitfalls import PITFALLS, EvaluationPlan, check_plan, render_report
-from repro.core.report import render_series, render_table
+from repro.core.report import render_campaign, render_series, render_table
 from repro.flash.state import DriveState
 from repro.units import MIB
+from repro.workload.keys import DISTRIBUTIONS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,6 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dataset-fraction", type=float, default=0.5)
     run.add_argument("--value-bytes", type=int, default=4000)
     run.add_argument("--read-fraction", type=float, default=0.0)
+    run.add_argument("--scan-fraction", type=float, default=0.0)
+    run.add_argument("--scan-length", type=int, default=100,
+                     help="keys returned per scan operation")
+    run.add_argument("--delete-fraction", type=float, default=0.0)
+    run.add_argument("--distribution", choices=sorted(DISTRIBUTIONS),
+                     default="uniform")
     run.add_argument("--op-reserved", type=float, default=0.0)
     run.add_argument("--duration", type=float, default=3.5,
                      help="stop after host writes reach DURATION x capacity")
@@ -65,6 +74,28 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="concurrent clients; >1 runs on the event-driven "
                           "scheduler with channel-parallel device timing")
     run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment grid on a worker pool",
+        description=(
+            "Expand a preset grid into cells, audit it against the seven "
+            "pitfalls, run the cells (in parallel with --workers), and "
+            "persist one JSONL record per completed cell.  --resume skips "
+            "cells already recorded in the output file."
+        ),
+    )
+    campaign.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (cells are independent "
+                               "simulations; default 1 = in-process)")
+    campaign.add_argument("--out", default=None,
+                          help="JSONL results path (default campaign-<preset>.jsonl)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip cells already recorded in --out")
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="print the grid and pitfall audit, run nothing")
+    campaign.set_defaults(func=_cmd_campaign)
 
     pitfalls = sub.add_parser("pitfalls", help="print the 7-pitfall checklist")
     pitfalls.set_defaults(func=_cmd_pitfalls)
@@ -95,6 +126,10 @@ def _cmd_run(args) -> int:
         dataset_fraction=args.dataset_fraction,
         value_bytes=args.value_bytes,
         read_fraction=args.read_fraction,
+        scan_fraction=args.scan_fraction,
+        scan_length=args.scan_length,
+        delete_fraction=args.delete_fraction,
+        distribution=args.distribution,
         op_reserved_fraction=args.op_reserved,
         duration_capacity_writes=args.duration,
         seed=args.seed,
@@ -134,6 +169,41 @@ def _cmd_run(args) -> int:
             f"WA-D={steady.wa_d:.2f}, end-to-end WA="
             f"{steady.wa_a * steady.wa_d:.1f}, space amp={steady.space_amp:.2f}"
         )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    campaign = PRESETS[args.preset]
+    cells = campaign.cells()
+    print(f"campaign {campaign.name!r}: {len(cells)} cells over "
+          f"axes {', '.join(campaign.axis_names)}")
+    violations = check_plan(campaign.plan())
+    print("pitfall audit of the grid itself:")
+    print(render_report(violations))
+    if args.dry_run:
+        for cell in cells:
+            print(f"  {cell.stable_hash()}  {cell.name}")
+        return 0
+
+    out = args.out or f"campaign-{args.preset}.jsonl"
+    done = 0
+
+    def progress(cell) -> None:
+        nonlocal done
+        done += 1
+        steady = cell.record.get("steady")
+        tput = f"{steady['kv_tput'] / 1000.0:.2f} KOps/s" if steady else "no steady"
+        status = "out-of-space" if cell.record.get("out_of_space") else tput
+        print(f"  [{done}] {cell.spec.name}: {status}", flush=True)
+
+    outcome = run_campaign(
+        campaign, workers=args.workers, out=out,
+        resume=args.resume, progress=progress,
+    )
+    print(f"{outcome.ran} cell(s) run, {outcome.skipped} resumed from {out} "
+          f"in {outcome.wall_seconds:.1f}s with {args.workers} worker(s)")
+    print()
+    print(render_campaign(outcome.records, title=f"campaign {campaign.name!r}"))
     return 0
 
 

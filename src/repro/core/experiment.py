@@ -12,7 +12,9 @@ sampling, and returns the time series plus a steady-state summary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
 from enum import Enum
 from typing import Any
 
@@ -38,6 +40,7 @@ from repro.lsm.config import LSMConfig
 from repro.lsm.store import LSMStore
 from repro.sim.clients import ClientPool
 from repro.units import MIB
+from repro.workload.keys import DISTRIBUTIONS
 from repro.workload.runner import load_sequential, run_workload
 from repro.workload.spec import WorkloadSpec
 
@@ -63,6 +66,9 @@ class ExperimentSpec:
     dataset_fraction: float = 0.5
     value_bytes: int = 4000
     read_fraction: float = 0.0
+    scan_fraction: float = 0.0
+    scan_length: int = 100
+    delete_fraction: float = 0.0
     distribution: str = "uniform"
     op_reserved_fraction: float = 0.0  # software over-provisioning (§4.6)
     duration_capacity_writes: float = 3.5  # stop after host writes >= x*capacity
@@ -80,6 +86,24 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         if not 0.0 < self.dataset_fraction:
             raise ConfigError("dataset_fraction must be positive")
+        if self.value_bytes < 0:
+            raise ConfigError("value_bytes cannot be negative")
+        for name in ("read_fraction", "scan_fraction", "delete_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.read_fraction + self.scan_fraction + self.delete_fraction > 1.0:
+            raise ConfigError(
+                "read_fraction + scan_fraction + delete_fraction must be <= 1"
+            )
+        if self.scan_length < 1:
+            raise ConfigError("scan_length must be >= 1")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigError(
+                f"unknown distribution {self.distribution!r}; "
+                f"expected one of {sorted(DISTRIBUTIONS)}"
+            )
+        if not 0.0 <= self.op_reserved_fraction < 1.0:
+            raise ConfigError("op_reserved_fraction must be in [0, 1)")
         if self.duration_capacity_writes <= 0:
             raise ConfigError("duration_capacity_writes must be positive")
         if self.sample_interval <= 0:
@@ -100,7 +124,46 @@ class ExperimentSpec:
             value_bytes=self.value_bytes,
             read_fraction=self.read_fraction,
             distribution=self.distribution,
+            scan_fraction=self.scan_fraction,
+            scan_length=self.scan_length,
+            delete_fraction=self.delete_fraction,
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (campaign persistence and worker dispatch)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form: enums as values, JSON-serializable."""
+        spec = {f.name: getattr(self, f.name) for f in fields(self)}
+        spec["engine"] = Engine(self.engine).value
+        spec["drive_state"] = DriveState(self.drive_state).value
+        spec["engine_options"] = dict(self.engine_options)
+        spec["ssd_options"] = dict(self.ssd_options)
+        return spec
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        params = dict(data)
+        if "engine" in params:
+            params["engine"] = Engine(params["engine"])
+        if "drive_state" in params:
+            params["drive_state"] = DriveState(params["drive_state"])
+        return cls(**params)
+
+    def stable_hash(self) -> str:
+        """A short content hash of the spec, stable across processes.
+
+        Campaign stores key completed cells by this hash, so a resumed
+        campaign recognizes finished work regardless of grid order.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -121,11 +184,42 @@ class ExperimentResult:
     lba_never_written: float | None = None
     client_latencies: ClientLatencies | None = None  # pool-driven runs only
     per_client_ops: list[int] | None = None
+    kv_ops: dict[str, int] = field(default_factory=dict)  # puts/gets/scans/deletes
 
     @property
     def completed(self) -> bool:
         """Whether the run finished without running out of space."""
         return not self.out_of_space
+
+    def to_dict(self, include_samples: bool = True) -> dict[str, Any]:
+        """JSON-serializable record of the run (one campaign cell).
+
+        The LBA histogram (a large array) is summarized rather than
+        embedded; latencies are reduced to their percentile summary.
+        All values round-trip through JSON without loss, which is what
+        makes campaign resume byte-deterministic.
+        """
+        return {
+            "cell": self.spec.stable_hash(),
+            "spec": self.spec.to_dict(),
+            "steady": asdict(self.steady) if self.steady else None,
+            "out_of_space": self.out_of_space,
+            "load_seconds": self.load_seconds,
+            "run_seconds": self.run_seconds,
+            "ops_issued": self.ops_issued,
+            "smart": dict(self.smart),
+            "peak_disk_utilization": self.peak_disk_utilization,
+            "peak_space_amp": self.peak_space_amp,
+            "samples": [asdict(s) for s in self.samples] if include_samples else None,
+            "lba_never_written": self.lba_never_written,
+            "client_latency_summary": (
+                self.client_latencies.summary()
+                if self.client_latencies is not None and self.client_latencies.count()
+                else None
+            ),
+            "per_client_ops": self.per_client_ops,
+            "kv_ops": dict(self.kv_ops),
+        }
 
 
 def build_stack(spec: ExperimentSpec):
@@ -245,6 +339,12 @@ def run_experiment(spec: ExperimentSpec,
         lba_never_written=trace.fraction_never_written() if trace else None,
         client_latencies=getattr(outcome, "latencies", None),
         per_client_ops=getattr(outcome, "per_client_ops", None),
+        kv_ops={
+            "puts": store.stats.puts,
+            "gets": store.stats.gets,
+            "scans": store.stats.scans,
+            "deletes": store.stats.deletes,
+        },
     )
 
 

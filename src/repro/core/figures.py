@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.analysis.cdf import cdf_knee, coverage_fraction, write_probability_cdf
+from repro.campaign.runner import CampaignOutcome, run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.analysis.stats import (
     coefficient_of_variation,
     fraction_below,
@@ -92,6 +94,15 @@ def _series_rows(result: ExperimentResult) -> list[list]:
 
 
 _SERIES_HEADERS = ["t(s)", "KOps/s", "devW MB/s", "devR MB/s", "WA-A", "WA-D"]
+
+
+def _grid_items(outcome: CampaignOutcome):
+    """(axis key, live result) pairs in grid order — the row order the
+    figure tables used before they were campaign-backed."""
+    campaign = outcome.campaign
+    return [
+        (campaign.key_for(cell.spec), cell.result) for cell in outcome.cells
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -200,31 +211,34 @@ FIG5_FRACTIONS = (0.25, 0.37, 0.5, 0.62)
 def fig5_dataset_size(scale: Scale = DEFAULT,
                       fractions: tuple[float, ...] = FIG5_FRACTIONS) -> FigureResult:
     """Steady-state throughput, WA-D, WA-A vs dataset/capacity ratio."""
-    results = {}
+    campaign = CampaignSpec(
+        name="fig5",
+        base=spec_for(scale, Engine.LSM),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "drive_state": (DriveState.TRIMMED, DriveState.PRECONDITIONED),
+            "dataset_fraction": tuple(fractions),
+        },
+    )
+    outcome = run_campaign(campaign)
     rows = []
-    for engine in (Engine.LSM, Engine.BTREE):
-        for state in (DriveState.TRIMMED, DriveState.PRECONDITIONED):
-            for fraction in fractions:
-                result = run_experiment(
-                    spec_for(scale, engine, drive_state=state,
-                             dataset_fraction=fraction)
-                )
-                results[(engine.value, state.value, fraction)] = result
-                if result.out_of_space or result.steady is None:
-                    rows.append([engine.value, state.value, fraction,
-                                 "OUT OF SPACE", "-", "-"])
-                    continue
-                steady = result.steady
-                rows.append([
-                    engine.value, state.value, fraction,
-                    f"{steady.kv_tput / KOPS:.2f}", f"{steady.wa_d:.2f}",
-                    f"{steady.wa_a:.1f}",
-                ])
+    for key, result in _grid_items(outcome):
+        engine, state, fraction = key
+        if result.out_of_space or result.steady is None:
+            rows.append([engine, state, fraction, "OUT OF SPACE", "-", "-"])
+            continue
+        steady = result.steady
+        rows.append([
+            engine, state, fraction,
+            f"{steady.kv_tput / KOPS:.2f}", f"{steady.wa_d:.2f}",
+            f"{steady.wa_a:.1f}",
+        ])
     text = render_table(
         ["engine", "state", "dataset/cap", "KOps/s", "WA-D", "WA-A"],
         rows, title="Fig 5: impact of the dataset size",
     )
-    return FigureResult("fig5", "Dataset size sweep", {"results": results}, text)
+    return FigureResult("fig5", "Dataset size sweep",
+                        {"results": outcome.results(), "campaign": campaign}, text)
 
 
 # ----------------------------------------------------------------------
@@ -303,22 +317,26 @@ def fig7_overprovisioning(scale: Scale = DEFAULT,
     """
     if reserved_fraction is None:
         reserved_fraction = 0.25 if scale.capacity_bytes >= 96 * MIB else 0.15
-    results = {}
+    campaign = CampaignSpec(
+        name="fig7",
+        base=spec_for(scale, Engine.LSM),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "drive_state": (DriveState.TRIMMED, DriveState.PRECONDITIONED),
+            "op_reserved_fraction": (0.0, reserved_fraction),
+        },
+    )
+    outcome = run_campaign(campaign)
+    results = outcome.results()
     rows = []
-    for engine in (Engine.LSM, Engine.BTREE):
-        for state in (DriveState.TRIMMED, DriveState.PRECONDITIONED):
-            for reserved in (0.0, reserved_fraction):
-                result = run_experiment(
-                    spec_for(scale, engine, drive_state=state,
-                             op_reserved_fraction=reserved)
-                )
-                results[(engine.value, state.value, reserved)] = result
-                steady = result.steady
-                rows.append([
-                    engine.value, state.value,
-                    "extra-OP" if reserved else "no-OP",
-                    f"{steady.kv_tput / KOPS:.2f}", f"{steady.wa_d:.2f}",
-                ])
+    for key, result in _grid_items(outcome):
+        engine, state, reserved = key
+        steady = result.steady
+        rows.append([
+            engine, state,
+            "extra-OP" if reserved else "no-OP",
+            f"{steady.kv_tput / KOPS:.2f}", f"{steady.wa_d:.2f}",
+        ])
     text = render_table(
         ["engine", "state", "OP", "KOps/s", "WA-D"],
         rows, title=f"Fig 7: extra over-provisioning ({reserved_fraction:.0%} reserved)",
@@ -329,7 +347,7 @@ def fig7_overprovisioning(scale: Scale = DEFAULT,
     )
     text += f"\n  LSM preconditioned speedup from extra OP: x{lsm_gain:.2f}"
     return FigureResult("fig7", "SSD software over-provisioning",
-                        {"results": results}, text)
+                        {"results": results, "campaign": campaign}, text)
 
 
 # ----------------------------------------------------------------------
@@ -372,17 +390,22 @@ def fig9_ssd_types(scale: Scale = DEFAULT,
     # (scaled) the dataset degenerates against fixed engine buffer
     # sizes, so small scales raise the fraction instead.
     dataset_fraction = max(dataset_fraction, 8 * MIB / scale.capacity_bytes)
-    results = {}
-    rows = []
-    for engine in (Engine.LSM, Engine.BTREE):
-        for ssd in ("ssd1", "ssd2", "ssd3"):
-            result = run_experiment(
-                spec_for(scale, engine, ssd=ssd, dataset_fraction=dataset_fraction)
-            )
-            results[(engine.value, ssd)] = result
-            rows.append([engine.value, ssd,
-                         f"{result.steady.kv_tput / KOPS:.2f}",
-                         f"{result.steady.wa_d:.2f}"])
+    campaign = CampaignSpec(
+        name="fig9",
+        base=spec_for(scale, Engine.LSM, dataset_fraction=dataset_fraction),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "ssd": ("ssd1", "ssd2", "ssd3"),
+        },
+    )
+    outcome = run_campaign(campaign)
+    results = outcome.results()
+    rows = [
+        [key[0], key[1],
+         f"{result.steady.kv_tput / KOPS:.2f}",
+         f"{result.steady.wa_d:.2f}"]
+        for key, result in _grid_items(outcome)
+    ]
     text = render_table(
         ["engine", "SSD", "KOps/s", "WA-D"],
         rows, title="Fig 9: impact of the SSD type (small dataset, trimmed)",
@@ -396,7 +419,7 @@ def fig9_ssd_types(scale: Scale = DEFAULT,
         f"ranking flips across SSDs: {winner_flips}"
     )
     return FigureResult("fig9", "Impact of the storage technology",
-                        {"results": results}, text)
+                        {"results": results, "campaign": campaign}, text)
 
 
 # ----------------------------------------------------------------------

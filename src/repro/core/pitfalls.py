@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 PITFALLS: dict[int, tuple[str, str]] = {
     1: (
         "Running short tests",
@@ -122,6 +124,41 @@ def check_plan(plan: EvaluationPlan) -> list[PitfallViolation]:
     if len(set(plan.ssd_types)) < 2:
         add(7, "only one SSD type is used")
     return violations
+
+
+def plan_from_specs(specs, notes: str = "") -> EvaluationPlan:
+    """Derive the :class:`EvaluationPlan` a set of experiment specs implies.
+
+    This is how a campaign audits *itself*: the grid of
+    :class:`~repro.core.experiment.ExperimentSpec` cells it is about to
+    run is reduced to the evaluation-methodology facts the seven
+    pitfalls care about, and :func:`check_plan` reports what the
+    campaign is missing (one dataset size, one SSD type, ...).
+
+    The harness-level flags are always true because
+    :func:`~repro.core.experiment.run_experiment` measures them
+    unconditionally: WA-D and space amplification are sampled every
+    window, the drive state is applied from the spec (controlled) and
+    recorded in every result (reported), and steady-state summaries use
+    CUSUM detection.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ConfigError("cannot derive a plan from zero specs")
+    return EvaluationPlan(
+        run_until_host_writes_capacity_multiple=min(
+            s.duration_capacity_writes for s in specs
+        ),
+        uses_steady_state_detection=True,
+        reports_wa_d=True,
+        controls_drive_state=True,
+        reports_drive_state=True,
+        dataset_fractions=tuple(sorted({s.dataset_fraction for s in specs})),
+        reports_space_amplification=True,
+        considers_overprovisioning=any(s.op_reserved_fraction > 0 for s in specs),
+        ssd_types=tuple(sorted({s.ssd for s in specs})),
+        notes=notes,
+    )
 
 
 def compliant_plan() -> EvaluationPlan:

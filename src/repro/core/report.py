@@ -40,6 +40,39 @@ def render_series(
     return render_table(headers, rows, title=title)
 
 
+def render_campaign(records: Sequence[dict], title: str = "") -> str:
+    """Consolidated cross-cell table for a campaign's JSONL records.
+
+    Takes the serialized records (as stored/loaded by
+    :class:`repro.campaign.store.CampaignStore`), so a finished
+    campaign file can be re-rendered without re-running anything.
+    """
+    rows = []
+    for record in records:
+        spec = record["spec"]
+        steady = record.get("steady")
+        status = "out-of-space" if record.get("out_of_space") else "ok"
+        if steady is None:
+            perf = ["-", "-", "-", "-"]
+        else:
+            perf = [
+                f"{steady['kv_tput'] / 1000.0:.2f}",
+                f"{steady['wa_a']:.1f}",
+                f"{steady['wa_d']:.2f}",
+                f"{steady['space_amp']:.2f}",
+            ]
+        rows.append([
+            spec["engine"], spec["ssd"], spec["drive_state"],
+            f"{spec['dataset_fraction']:g}", f"{spec['op_reserved_fraction']:g}",
+            *perf, status, record["cell"],
+        ])
+    return render_table(
+        ["engine", "SSD", "state", "data/cap", "OP", "KOps/s",
+         "WA-A", "WA-D", "space amp", "status", "cell"],
+        rows, title=title,
+    )
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         if cell == 0:

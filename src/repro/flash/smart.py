@@ -25,6 +25,7 @@ class SmartAttributes:
     trim_commands: int = 0
     host_write_requests: int = 0
     host_read_requests: int = 0
+    fold_events: int = 0  # writes that paid the SLC->QLC fold penalty
 
     def device_write_amplification(self) -> float:
         """WA-D: flash bytes programmed per host byte written (>= 1)."""

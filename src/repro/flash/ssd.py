@@ -67,20 +67,52 @@ class ChannelTimeline:
     Each channel serves its queued flash work in arrival order; the
     striping cursor rotates so that consecutive small writes land on
     different channels, like an interleaving controller.
+
+    Two horizons are kept per channel.  ``busy`` is the FIFO occupancy
+    — program, erase *and* read service time — and is what later
+    requests on the same channel queue behind.  ``write_busy`` counts
+    only program/erase work: it is the controller *write-cache* drain
+    horizon, the quantity behind host write completion, the SLC fold
+    trigger, and engine stall heuristics.  Reads occupy channels but
+    hold no data in the write cache, so they must never appear in the
+    write backlog (a read-heavy workload would otherwise spuriously
+    "overwhelm the write cache").
     """
 
     def __init__(self, nchannels: int, start: float = 0.0):
         self.busy = [float(start)] * nchannels
+        self.write_busy = [float(start)] * nchannels
         self.cursor = 0
 
     def backlog(self, now: float) -> float:
-        """Mean seconds of queued work per channel (the drain horizon)."""
-        total = sum(max(0.0, b - now) for b in self.busy)
-        return total / len(self.busy)
+        """Mean seconds of queued *write* work per channel (the
+        write-cache drain horizon)."""
+        total = sum(max(0.0, b - now) for b in self.write_busy)
+        return total / len(self.write_busy)
 
     def max_backlog(self, now: float) -> float:
-        """Seconds until the most-loaded channel goes idle."""
+        """Seconds until the most-loaded channel goes idle (any work)."""
         return max(0.0, max(self.busy) - now)
+
+    def add_write_work(self, channel: int, now: float, seconds: float) -> None:
+        """Queue program/erase time on *channel* (both horizons)."""
+        self.busy[channel] = max(self.busy[channel], now) + seconds
+        self.write_busy[channel] = max(self.write_busy[channel], now) + seconds
+
+    def add_read_work(self, channel: int, now: float, seconds: float) -> float:
+        """Queue read service time on *channel*; returns its completion.
+
+        Extends only the FIFO occupancy: reads contend for the channel
+        but contribute nothing to the write-cache backlog.
+        """
+        done = max(self.busy[channel], now) + seconds
+        self.busy[channel] = done
+        return done
+
+    def reset(self, now: float) -> None:
+        """Consider every channel idle as of *now*."""
+        self.busy = [now] * len(self.busy)
+        self.write_busy = [now] * len(self.write_busy)
 
 
 class SSD:
@@ -219,12 +251,14 @@ class SSD:
         return [max(0.0, b - now) for b in self._channels.busy]
 
     def backlog_seconds(self, at: float | None = None) -> float:
-        """Seconds of queued flash work not yet completed at time *at*.
+        """Seconds of queued *write* work not yet completed at time *at*.
 
-        In channel mode this is the *mean* per-channel backlog — the
-        horizon at which the device drains under perfect interleaving,
-        which is what the controller cache and engine stall heuristics
-        care about; per-channel skew is visible to reads only.
+        In channel mode this is the *mean* per-channel program/erase
+        backlog — the horizon at which the write cache drains under
+        perfect interleaving, which is what the controller cache and
+        engine stall heuristics care about.  Read service time is
+        excluded: reads occupy channels (visible in read latencies and
+        :meth:`channel_backlogs`) but hold nothing in the write cache.
         """
         now = self.clock.now if at is None else at
         if self._channels is not None:
@@ -249,7 +283,7 @@ class SSD:
         """
         self._busy_until = self.clock.now
         if self._channels is not None:
-            self._channels.busy = [self.clock.now] * len(self._channels.busy)
+            self._channels.reset(self.clock.now)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -317,6 +351,7 @@ class SSD:
             # threshold; bursty background writers (LSM flushes and
             # compactions) push far past it and pay the folding cost.
             fold = cfg.fold_penalty
+            self.smart.fold_events += 1
         if self._channels is not None:
             self._queue_flash_work(work, fold, now)
             if background:
@@ -349,8 +384,7 @@ class SSD:
         """
         cfg = self.config
         channels = self._channels
-        busy = channels.busy
-        nchannels = len(busy)
+        nchannels = len(channels.busy)
         pages = work.programmed_pages
         if pages:
             base, extra = divmod(pages, nchannels)
@@ -360,11 +394,11 @@ class SSD:
                 if npages_here == 0:
                     break
                 c = (cursor + i) % nchannels
-                busy[c] = max(busy[c], now) + npages_here * cfg.program_time * fold
+                channels.add_write_work(c, now, npages_here * cfg.program_time * fold)
             channels.cursor = (cursor + max(extra, min(pages, 1))) % nchannels
         if work.erases:
             c = channels.cursor
-            busy[c] = max(busy[c], now) + work.erases * cfg.erase_time * fold
+            channels.add_write_work(c, now, work.erases * cfg.erase_time * fold)
             channels.cursor = (c + 1) % nchannels
 
     def _read_channelized(self, start: int, npages: int, nbytes: int) -> float:
@@ -376,8 +410,8 @@ class SSD:
         behind same-channel work and overlap across channels.
         """
         cfg = self.config
-        busy = self._channels.busy
-        nchannels = len(busy)
+        channels = self._channels
+        nchannels = len(channels.busy)
         now = self.clock.now
         base, extra = divmod(npages, nchannels)
         first = start % nchannels
@@ -385,7 +419,6 @@ class SSD:
         for i in range(min(npages, nchannels)):
             c = (first + i) % nchannels
             npages_here = base + (1 if i < extra else 0)
-            done = max(busy[c], now) + npages_here * cfg.page_read_time
-            busy[c] = done
+            done = channels.add_read_work(c, now, npages_here * cfg.page_read_time)
             completion = max(completion, done)
         return cfg.read_latency + nbytes / cfg.bus_bytes_per_s + (completion - now)

@@ -106,14 +106,20 @@ class HotspotKeys(KeyChooser):
         return int(self.rng.integers(self.hot_keys, self.nkeys))
 
 
+_CHOOSERS: dict[str, type[KeyChooser]] = {
+    "uniform": UniformKeys,
+    "sequential": SequentialKeys,
+    "zipfian": ZipfianKeys,
+    "hotspot": HotspotKeys,
+}
+
+#: Names accepted by :func:`make_chooser`; spec layers validate
+#: against this so a typo fails at construction, not mid-run.
+DISTRIBUTIONS = frozenset(_CHOOSERS)
+
+
 def make_chooser(name: str, nkeys: int, rng: np.random.Generator, **kwargs) -> KeyChooser:
     """Build a key chooser by name."""
-    choosers = {
-        "uniform": UniformKeys,
-        "sequential": SequentialKeys,
-        "zipfian": ZipfianKeys,
-        "hotspot": HotspotKeys,
-    }
-    if name not in choosers:
-        raise ConfigError(f"unknown distribution {name!r}; expected one of {sorted(choosers)}")
-    return choosers[name](nkeys, rng, **kwargs)
+    if name not in _CHOOSERS:
+        raise ConfigError(f"unknown distribution {name!r}; expected one of {sorted(_CHOOSERS)}")
+    return _CHOOSERS[name](nkeys, rng, **kwargs)

@@ -30,11 +30,52 @@ class TestSpec:
         with pytest.raises(ConfigError):
             ExperimentSpec(sample_interval=0)
 
+    @pytest.mark.parametrize("bad", [
+        dict(read_fraction=-0.1),
+        dict(read_fraction=1.2),
+        dict(scan_fraction=1.5),
+        dict(delete_fraction=-1),
+        dict(read_fraction=0.6, scan_fraction=0.3, delete_fraction=0.2),
+        dict(scan_length=0),
+        dict(value_bytes=-1),
+        dict(op_reserved_fraction=-0.2),
+        dict(op_reserved_fraction=1.0),
+        dict(distribution="pareto"),
+    ])
+    def test_fails_fast_before_building_the_stack(self, bad):
+        """Bad fractions/ranges must raise at construction, not after
+        the whole device has been assembled and preconditioned."""
+        with pytest.raises(ConfigError):
+            ExperimentSpec(**bad)
+
     def test_workload_reflects_spec(self):
         spec = ExperimentSpec(value_bytes=128, read_fraction=0.5)
         workload = spec.workload()
         assert workload.value_bytes == 128
         assert workload.read_fraction == 0.5
+
+    def test_workload_carries_scan_and_delete_mix(self):
+        """The spec -> workload wiring that used to silently drop
+        scan/delete fractions (so no experiment could ever scan)."""
+        spec = ExperimentSpec(read_fraction=0.2, scan_fraction=0.3,
+                              scan_length=25, delete_fraction=0.1,
+                              distribution="zipfian")
+        workload = spec.workload()
+        assert workload.scan_fraction == 0.3
+        assert workload.scan_length == 25
+        assert workload.delete_fraction == 0.1
+        assert workload.distribution == "zipfian"
+
+    def test_dict_roundtrip_and_stable_hash(self):
+        spec = ExperimentSpec(engine=Engine.BTREE, ssd="ssd2",
+                              drive_state=DriveState.PRECONDITIONED,
+                              scan_fraction=0.25, nclients=4)
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.stable_hash() == spec.stable_hash()
+        assert ExperimentSpec().stable_hash() != spec.stable_hash()
+        with pytest.raises(ConfigError):
+            ExperimentSpec.from_dict({"no_such_field": 1})
 
 
 class TestBuildStack:
@@ -124,3 +165,28 @@ class TestRunExperiment:
         b = run_experiment(spec)
         assert a.smart == b.smart
         assert a.ops_issued == b.ops_issued
+
+    @pytest.mark.parametrize("engine", [Engine.LSM, Engine.BTREE])
+    def test_scan_delete_mix_reaches_the_engines(self, engine):
+        """End to end: a mixed spec drives the engines' scan and delete
+        paths (both were unreachable before the workload() fix)."""
+        spec = ExperimentSpec(engine=engine, read_fraction=0.2,
+                              scan_fraction=0.2, scan_length=10,
+                              delete_fraction=0.2, **FAST)
+        result = run_experiment(spec)
+        assert result.kv_ops["scans"] > 0
+        assert result.kv_ops["deletes"] > 0
+        assert result.kv_ops["gets"] > 0
+        assert result.kv_ops["puts"] > 0
+
+    def test_result_to_dict_is_json_clean(self):
+        import json
+
+        spec = ExperimentSpec(engine=Engine.LSM, **FAST)
+        record = run_experiment(spec).to_dict()
+        reloaded = json.loads(json.dumps(record))
+        assert json.dumps(reloaded, sort_keys=True) == \
+            json.dumps(record, sort_keys=True)
+        assert reloaded["cell"] == spec.stable_hash()
+        assert reloaded["steady"]["kv_tput"] > 0
+        assert len(reloaded["samples"]) == len(record["samples"])

@@ -86,3 +86,34 @@ class TestCli:
     def test_unknown_figure_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["run-figure", "fig99"])
+
+    def test_run_with_scan_delete_mix(self, capsys):
+        code = main([
+            "run", "--engine", "lsm", "--capacity-mib", "24",
+            "--dataset-fraction", "0.3", "--duration", "1.0",
+            "--scan-fraction", "0.1", "--scan-length", "20",
+            "--delete-fraction", "0.1", "--distribution", "zipfian",
+        ])
+        assert code == 0
+        assert "steady state" in capsys.readouterr().out
+
+    def test_campaign_dry_run_prints_grid_and_audit(self, capsys):
+        assert main(["campaign", "--preset", "smoke", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "pitfall" in out
+        assert "engine=lsm" in out
+
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        out_path = str(tmp_path / "smoke.jsonl")
+        assert main(["campaign", "--preset", "smoke", "--out", out_path]) == 0
+        first = capsys.readouterr().out
+        assert "4 cell(s) run, 0 resumed" in first
+        assert len((tmp_path / "smoke.jsonl").read_text().splitlines()) == 4
+        assert main(["campaign", "--preset", "smoke", "--out", out_path,
+                     "--resume"]) == 0
+        assert "0 cell(s) run, 4 resumed" in capsys.readouterr().out
+
+    def test_campaign_requires_known_preset(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--preset", "nope"])

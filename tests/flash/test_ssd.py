@@ -217,3 +217,73 @@ class TestChannelTiming:
 
     def test_scalar_mode_reports_no_channel_backlogs(self, tiny_ssd):
         assert tiny_ssd.channel_backlogs() == []
+
+
+class TestReadBacklogSeparation:
+    """Reads contend for channels but never fill the write cache.
+
+    In channel mode ``backlog_seconds()`` feeds the SLC fold trigger,
+    host write completion, and engine stall heuristics; read service
+    time must therefore stay out of it (a read-heavy workload used to
+    spuriously "overwhelm the write cache")."""
+
+    def make_channelized(self, clock, **overrides):
+        ssd = SSD(make_tiny_config(**overrides), clock)
+        ssd.write_range(0, ssd.npages // 2)
+        ssd.settle()
+        ssd.enable_channel_timing()
+        return ssd
+
+    def queue_reads(self, ssd, rounds: int) -> None:
+        for _ in range(rounds):
+            ssd.read_range(0, ssd.config.channels * 4)
+
+    def test_reads_do_not_fill_write_backlog(self, clock):
+        ssd = self.make_channelized(clock)
+        self.queue_reads(ssd, rounds=50)
+        assert max(ssd.channel_backlogs()) > 0  # channels are busy...
+        assert ssd.backlog_seconds() == 0.0     # ...the write cache is not
+
+    def test_read_backlog_does_not_stall_host_writes(self, clock):
+        ssd = self.make_channelized(clock)
+        idle_latency = ssd.write_range(0, 1)
+        ssd.settle()
+        # Pile on far more read service time than the cache drain
+        # window; a host write must still complete at the cache floor.
+        self.queue_reads(ssd, rounds=200)
+        assert max(ssd.channel_backlogs()) > ssd.config.cache_drain_window
+        contended_latency = ssd.write_range(0, 1)
+        assert contended_latency == pytest.approx(idle_latency)
+
+    def test_reads_never_trigger_fold_penalty(self, clock):
+        # A QLC-like device: folding enabled, tiny cache window.
+        ssd = self.make_channelized(clock, fold_penalty=4.0,
+                                    write_cache_bytes=16 * 1024)
+        self.queue_reads(ssd, rounds=400)
+        assert max(ssd.channel_backlogs()) > 1.25 * ssd.config.cache_drain_window
+        ssd.write_range(0, 8)
+        assert ssd.smart.fold_events == 0
+
+    def test_write_backlog_still_triggers_fold_penalty(self, clock):
+        ssd = self.make_channelized(clock, fold_penalty=4.0,
+                                    write_cache_bytes=16 * 1024)
+        ssd.write_range(0, 512, background=True)  # bursty program work
+        assert ssd.backlog_seconds() > 1.25 * ssd.config.cache_drain_window
+        ssd.write_range(0, 8)
+        assert ssd.smart.fold_events > 0
+
+    def test_writes_still_queue_behind_reads_on_a_channel(self, clock):
+        ssd = self.make_channelized(clock)
+        idle_read = ssd.read_range(0, 1)
+        ssd.settle()
+        self.queue_reads(ssd, rounds=50)
+        # Channel occupancy (busy horizons) still includes the reads:
+        # a later read on the same channel waits its turn.
+        contended_read = ssd.read_range(0, 1)
+        assert contended_read > idle_read
+
+    def test_drain_covers_read_work(self, clock):
+        ssd = self.make_channelized(clock)
+        self.queue_reads(ssd, rounds=20)
+        ssd.drain()
+        assert max(ssd.channel_backlogs()) == 0.0

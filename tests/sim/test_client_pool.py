@@ -141,6 +141,52 @@ class TestConcurrency:
         assert many.latencies.percentile(99) > one.latencies.percentile(99)
 
 
+class TestReadHeavyBacklog:
+    """Read traffic must not masquerade as write-cache pressure."""
+
+    def run_measured_phase(self, max_ops: int, **workload):
+        """Load, drain, snapshot fold count, then run 16 clients.
+
+        The write-heavy load phase may legitimately fold on the small
+        scaled cache; the measured phase is what the read-pollution bug
+        poisoned, hence the post-load snapshot.  The cache is shrunk via
+        ``ssd_options`` so that read service backlog dwarfs the drain
+        window, the regime where the old accounting misfired.
+        """
+        spec, _clock, ssd, store = loaded_stack(
+            Engine.LSM, nclients=16, ssd="ssd2",
+            ssd_options={"write_cache_bytes": 256 * 1024}, **workload,
+        )
+        folds_after_load = ssd.smart.fold_events
+        pool = ClientPool(store, spec.workload(), nclients=16, seed=7,
+                          max_ops=max_ops, ssd=ssd)
+        outcome = pool.run()
+        return outcome, store, ssd.smart.fold_events - folds_after_load
+
+    def test_read_heavy_16_clients_on_ssd2_never_pays_fold_penalty(self):
+        """A 16-client 90%-read (gets + long scans) measured phase on
+        the QLC drive keeps the channels saturated with read service
+        time well past the cache drain window, but the SLC fold penalty
+        — triggered by *write* backlog — must never fire (it used to,
+        because read service time leaked into ``backlog_seconds``)."""
+        outcome, store, measured_folds = self.run_measured_phase(
+            max_ops=FAST["max_ops"],
+            read_fraction=0.5, scan_fraction=0.4, scan_length=400,
+        )
+        assert outcome.ops_issued == FAST["max_ops"]
+        assert not outcome.out_of_space
+        assert store.stats.scans > 0  # the scan path really ran at depth
+        assert measured_folds == 0
+
+    def test_write_heavy_clients_on_ssd2_do_pay_fold_penalty(self):
+        """Control: update-only traffic at the same depth keeps the fold
+        mechanism alive — bursty flush/compaction writes overwhelm the
+        scaled cache."""
+        _outcome, _store, measured_folds = self.run_measured_phase(
+            max_ops=20_000, read_fraction=0.0)
+        assert measured_folds > 0
+
+
 class TestValidation:
     def test_nclients_validated(self):
         _spec, _clock, ssd, store = loaded_stack(Engine.LSM)
