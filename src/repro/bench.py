@@ -1,0 +1,254 @@
+"""Wall-clock throughput benchmark and perf-regression harness.
+
+``repro bench`` measures how fast the simulator itself runs — not the
+simulated metrics, which are pinned elsewhere — on the paper's fig-2
+update workload (sequential load + uniform updates until host writes
+reach a capacity multiple, §3.2), once per engine.  Results are written
+to ``BENCH_throughput.json`` so every PR extends a recorded perf
+trajectory (DESIGN.md §6).
+
+Three kinds of numbers are recorded per case:
+
+* **wall**: wall-clock seconds for the load and measured phases, and
+  derived ops/sec and simulated-flash-pages/sec.  Machine-dependent:
+  comparable along one machine's trajectory, not across machines.
+* **speedup_vs_scalar**: batched driver vs the seed's scalar
+  (one-op-at-a-time) driver, measured back to back in the same
+  process.  A machine-independent ratio — the regression signal for
+  the batching layer itself.
+* **sim**: a fingerprint of the simulated outcome (virtual clock,
+  op counts, SMART byte counters, WA-D, sample count).  Fully
+  deterministic; any drift vs the committed baseline means the
+  simulation's behaviour changed, which a perf PR must never do.
+
+:func:`check_regression` enforces exactly that split: sim fingerprints
+must match bit for bit, the scalar-vs-batched speedup may not regress
+by more than the threshold, and absolute ops/sec regressions beyond
+the threshold are reported (they fail only when the baseline was
+produced on the same machine, which CI guarantees by regenerating its
+own artifact and comparing the committed one's sim + speedup fields).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro.core.experiment import Engine, build_stack
+from repro.core.figures import SCALES, Scale, spec_for
+from repro.core.metrics import MetricsCollector
+from repro.core.report import render_table
+from repro.workload.runner import load_sequential, run_workload
+
+SCHEMA_VERSION = 1
+
+#: Engines benchmarked, in report order.
+ENGINES = (Engine.LSM, Engine.BTREE)
+
+
+def bench_case(engine: Engine, scale: Scale, batch: bool = True) -> dict[str, Any]:
+    """Run the fig-2 update workload for one engine; returns the record.
+
+    Mirrors :func:`repro.core.experiment.run_experiment`'s phases but
+    times the load and measured phases separately with a wall clock.
+    """
+    spec = spec_for(scale, engine)
+    clock, ssd, _device, _partition, fs, store, iostat, _trace = build_stack(spec)
+    workload = spec.workload()
+    collector = MetricsCollector(
+        clock=clock, ssd=ssd, iostat=iostat, fs=fs, store=store,
+        dataset_bytes=workload.dataset_bytes,
+    )
+    wall_start = time.perf_counter()
+    load = load_sequential(store, workload, batch=batch)
+    wall_loaded = time.perf_counter()
+    ssd.drain()
+    collector.start_measurement()
+    target = int(spec.duration_capacity_writes * spec.capacity_bytes)
+    run_clock_start = clock.now
+    outcome = run_workload(
+        store, workload, seed=spec.seed,
+        stop_when=lambda: collector.host_bytes_written() >= target,
+        sample_interval=spec.sample_interval, on_sample=collector.sample,
+        batch=batch,
+    )
+    wall_done = time.perf_counter()
+
+    load_wall = wall_loaded - wall_start
+    run_wall = wall_done - wall_loaded
+    smart = ssd.smart
+    nand_pages = smart.nand_bytes_written // ssd.page_size
+    return {
+        "name": f"fig2-update-{engine.value}",
+        "engine": engine.value,
+        "wall": {
+            "load_seconds": load_wall,
+            "run_seconds": run_wall,
+            "total_seconds": load_wall + run_wall,
+            "load_ops_per_sec": load.ops_issued / max(load_wall, 1e-9),
+            "run_ops_per_sec": outcome.ops_issued / max(run_wall, 1e-9),
+            "sim_pages_per_sec": nand_pages / max(load_wall + run_wall, 1e-9),
+        },
+        # Deterministic fingerprint: identical across machines and
+        # across the batched/scalar drivers (the equivalence contract).
+        "sim": {
+            "load_ops": load.ops_issued,
+            "run_ops": outcome.ops_issued,
+            "virtual_clock_seconds": clock.now,
+            "run_virtual_seconds": clock.now - run_clock_start,
+            "host_bytes_written": smart.host_bytes_written,
+            "nand_bytes_written": smart.nand_bytes_written,
+            "host_write_requests": smart.host_write_requests,
+            "wa_d": ssd.device_write_amplification(),
+            "samples": len(collector.samples),
+            "out_of_space": outcome.out_of_space or load.out_of_space,
+        },
+    }
+
+
+def run_suite(scale_name: str, repeat: int = 2) -> dict[str, Any]:
+    """Benchmark every engine at one scale; returns the suite record.
+
+    Each engine runs the batched *and* scalar drivers ``repeat`` times
+    (best wall time wins on both sides — the usual best-of-N noise
+    guard, symmetric so the speedup ratio is not biased by a single
+    unlucky scalar run); the two drivers' sim fingerprints are
+    asserted identical on the spot.
+    """
+    scale = SCALES[scale_name]
+    cases = []
+    for engine in ENGINES:
+        best: dict[str, Any] | None = None
+        scalar: dict[str, Any] | None = None
+        for _ in range(max(1, repeat)):
+            record = bench_case(engine, scale, batch=True)
+            if best is None or (record["wall"]["total_seconds"]
+                                < best["wall"]["total_seconds"]):
+                best = record
+            record = bench_case(engine, scale, batch=False)
+            if scalar is None or (record["wall"]["total_seconds"]
+                                  < scalar["wall"]["total_seconds"]):
+                scalar = record
+        if scalar["sim"] != best["sim"]:
+            raise AssertionError(
+                f"batched and scalar drivers diverged for {engine.value}: "
+                f"{scalar['sim']} != {best['sim']}"
+            )
+        best["speedup_vs_scalar"] = (
+            scalar["wall"]["total_seconds"] / max(best["wall"]["total_seconds"], 1e-9)
+        )
+        best["scalar_wall_total_seconds"] = scalar["wall"]["total_seconds"]
+        cases.append(best)
+    return {"scale": scale_name, "cases": cases}
+
+
+def run_bench(smoke: bool = False, repeat: int = 2) -> dict[str, Any]:
+    """Produce the full benchmark report (the BENCH_throughput payload).
+
+    ``smoke`` runs only the small-scale suite (the CI job); a full run
+    records both the small and default scales so a later smoke run can
+    always be compared against the committed baseline.
+    """
+    suites = {"smoke": run_suite("small", repeat=repeat)}
+    if not smoke:
+        suites["default"] = run_suite("default", repeat=repeat)
+    return {"schema": SCHEMA_VERSION, "workload": "fig2-update", "suites": suites}
+
+
+def check_regression(current: dict[str, Any], baseline: dict[str, Any],
+                     threshold: float = 0.30,
+                     strict_wall: bool = False) -> tuple[list[str], list[str]]:
+    """Compare a fresh report against a baseline.
+
+    Returns ``(problems, warnings)``:
+
+    * sim fingerprints must match exactly (simulation behaviour is
+      deterministic — any drift is a correctness regression): problem;
+    * the batched-vs-scalar speedup must not regress by more than
+      *threshold* (machine-independent): problem;
+    * absolute run-phase ops/sec beyond *threshold*: warning by
+      default — it only means something when baseline and run share a
+      machine — promoted to a problem with ``strict_wall``.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return problems, warnings
+    for suite_name, suite in current["suites"].items():
+        base_suite = baseline["suites"].get(suite_name)
+        if base_suite is None:
+            continue
+        base_cases = {c["name"]: c for c in base_suite["cases"]}
+        for case in suite["cases"]:
+            base = base_cases.get(case["name"])
+            if base is None:
+                continue
+            name = f"{suite_name}/{case['name']}"
+            if case["sim"] != base["sim"]:
+                diffs = [
+                    f"{k}: {base['sim'][k]} -> {case['sim'][k]}"
+                    for k in case["sim"]
+                    if case["sim"][k] != base["sim"].get(k)
+                ]
+                problems.append(f"{name}: sim fingerprint drifted ({'; '.join(diffs)})")
+            floor = base["speedup_vs_scalar"] * (1.0 - threshold)
+            if case["speedup_vs_scalar"] < floor:
+                problems.append(
+                    f"{name}: batched-vs-scalar speedup regressed "
+                    f"x{base['speedup_vs_scalar']:.2f} -> "
+                    f"x{case['speedup_vs_scalar']:.2f} (floor x{floor:.2f})"
+                )
+            ops_floor = base["wall"]["run_ops_per_sec"] * (1.0 - threshold)
+            if case["wall"]["run_ops_per_sec"] < ops_floor:
+                message = (
+                    f"{name}: run throughput regressed "
+                    f"{base['wall']['run_ops_per_sec']:,.0f} -> "
+                    f"{case['wall']['run_ops_per_sec']:,.0f} ops/s "
+                    f"(floor {ops_floor:,.0f})"
+                )
+                (problems if strict_wall else warnings).append(message)
+    return problems, warnings
+
+
+def render_bench(report: dict[str, Any]) -> str:
+    """Human-readable table of a benchmark report."""
+    sections = []
+    for suite_name, suite in report["suites"].items():
+        rows = []
+        for case in suite["cases"]:
+            wall = case["wall"]
+            rows.append([
+                case["engine"],
+                f"{wall['total_seconds']:.3f}",
+                f"{wall['load_ops_per_sec']:,.0f}",
+                f"{wall['run_ops_per_sec']:,.0f}",
+                f"{wall['sim_pages_per_sec']:,.0f}",
+                f"x{case['speedup_vs_scalar']:.2f}",
+                f"{case['sim']['wa_d']:.2f}",
+            ])
+        sections.append(render_table(
+            ["engine", "wall s", "load ops/s", "run ops/s",
+             "sim pages/s", "vs scalar", "WA-D"],
+            rows,
+            title=f"bench[{suite_name}] {report['workload']} "
+                  f"(scale {suite['scale']})",
+        ))
+    return "\n\n".join(sections)
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Read a benchmark report from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_report(report: dict[str, Any], path: str) -> None:
+    """Write a benchmark report to disk (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -32,6 +32,7 @@ class BlockDevice:
 
     def __init__(self, ssd: SSD):
         self.ssd = ssd
+        self._clock = ssd.clock  # hot-path cache for request timestamps
         self._observers: list[BlockObserver] = []
 
     def attach(self, observer: BlockObserver) -> None:
@@ -64,15 +65,17 @@ class BlockDevice:
         """Write a batch of (unique) pages; returns host-visible latency."""
         t = self.ssd.clock.now
         latency = self.ssd.write_pages(lpns, background=background)
-        for observer in self._observers:
-            observer.on_write(t, -1, int(np.asarray(lpns).size), np.asarray(lpns))
+        if self._observers:
+            arr = np.asarray(lpns)
+            for observer in self._observers:
+                observer.on_write(t, -1, int(arr.size), arr)
         return latency
 
     def write_range(self, start: int, npages: int, background: bool = False) -> float:
         """Write a consecutive page range; returns host-visible latency."""
         if npages <= 0:
             return 0.0
-        t = self.ssd.clock.now
+        t = self._clock.now
         latency = self.ssd.write_range(start, npages, background=background)
         for observer in self._observers:
             observer.on_write(t, start, npages, None)
@@ -82,7 +85,7 @@ class BlockDevice:
         """Read a consecutive page range; returns host-visible latency."""
         if npages <= 0:
             return 0.0
-        t = self.ssd.clock.now
+        t = self._clock.now
         latency = self.ssd.read_range(start, npages)
         for observer in self._observers:
             observer.on_read(t, npages)

@@ -46,19 +46,35 @@ class Partition:
         return self._npages * self.page_size
 
     def write_pages(self, lpns: np.ndarray, background: bool = False) -> float:
-        lpns = np.asarray(lpns, dtype=np.int64)
-        if lpns.size == 0:
+        n = len(lpns)
+        if n == 0:
             return 0.0
+        if n <= 8:
+            # Small requests (journal records, page reconciliations)
+            # translate on Python ints; the array path's min/max scans
+            # cost more than the whole translation for a few pages.
+            start = self.start_page
+            npages = self._npages
+            shifted = []
+            for lpn in lpns:
+                lpn = int(lpn)
+                if lpn < 0 or lpn >= npages:
+                    raise OutOfRangeError("write outside partition")
+                shifted.append(lpn + start)
+            return self.parent.write_pages(shifted, background=background)
+        lpns = np.asarray(lpns, dtype=np.int64)
         if int(lpns.min()) < 0 or int(lpns.max()) >= self._npages:
             raise OutOfRangeError("write outside partition")
         return self.parent.write_pages(lpns + self.start_page, background=background)
 
     def write_range(self, start: int, npages: int, background: bool = False) -> float:
-        self._check(start, npages)
+        if npages < 0 or start < 0 or start + npages > self._npages:
+            self._check(start, npages)
         return self.parent.write_range(self.start_page + start, npages, background=background)
 
     def read_range(self, start: int, npages: int) -> float:
-        self._check(start, npages)
+        if npages < 0 or start < 0 or start + npages > self._npages:
+            self._check(start, npages)
         return self.parent.read_range(self.start_page + start, npages)
 
     def trim_range(self, start: int, npages: int) -> None:

@@ -36,6 +36,13 @@ class Pager:
         self._free_slots: list[int] = []
         self.pages_written = 0
         self.pages_read = 0
+        # slot -> (device_start, npages) | None, resolved lazily.  A
+        # slot's device pages are fixed once its extent is allocated
+        # (the tree file only ever grows), so I/O on a cached slot is
+        # submitted as a device range directly; None marks slots that
+        # span extents and must go through the filesystem.
+        self._slot_runs: dict[int, tuple[int, int] | None] = {}
+        self._fs_page_size = fs.page_size
 
     # ------------------------------------------------------------------
     # Slot lifecycle
@@ -47,34 +54,78 @@ class Pager:
         file grows; growth reserves a whole chunk of slots without
         device writes (fallocate-style).
         """
+        self.pages_written += 1
+        slot = self.alloc_slot()
+        return slot, self._write_slot(slot, background)
+
+    def alloc_slot(self) -> int:
+        """Take a fresh slot, growing the file by a chunk if needed.
+
+        Splitting allocation from the write lets batch callers run the
+        engine's alloc/free sequence in scalar order (slot recycling is
+        a LIFO, so interleaving matters) while deferring the device
+        writes into one :meth:`write_slots` submission.
+        """
         if not self._free_slots:
             self.fs.reserve(self.filename, self.GROW_CHUNK_SLOTS * self.page_bytes)
             grown = range(self._nslots, self._nslots + self.GROW_CHUNK_SLOTS)
             self._nslots += self.GROW_CHUNK_SLOTS
             self._free_slots.extend(reversed(grown))
-        self.pages_written += 1
-        slot = self._free_slots.pop()
-        latency = self.fs.pwrite(
-            self.filename, slot * self.page_bytes, self.page_bytes,
-            background=background,
-        )
-        return slot, latency
+        return self._free_slots.pop()
+
+    def write_slots(self, slots: list[int], background: bool = False) -> float:
+        """Write the given slots as one batched submission.
+
+        Each slot remains its own host request, so device accounting
+        matches writing the slots one ``write_at`` at a time, in order.
+        """
+        for slot in slots:
+            self._check_slot(slot)
+        self.pages_written += len(slots)
+        latency = 0.0
+        for slot in slots:
+            latency += self._write_slot(slot, background)
+        return latency
 
     def write_at(self, slot: int, background: bool = False) -> float:
         """Overwrite an existing slot in place (metadata updates)."""
         self._check_slot(slot)
         self.pages_written += 1
-        return self.fs.pwrite(
-            self.filename, slot * self.page_bytes, self.page_bytes,
-            background=background,
-        )
+        return self._write_slot(slot, background)
 
     def read(self, slot: int) -> float:
         """Read one page slot; returns latency."""
         self._check_slot(slot)
         self.pages_read += 1
+        run = self._slot_run(slot)
+        if run is not None:
+            return self.fs.device.read_range(*run)
         latency, _ = self.fs.pread(self.filename, slot * self.page_bytes, self.page_bytes)
         return latency
+
+    def _write_slot(self, slot: int, background: bool) -> float:
+        """Submit one slot write, via the cached device range if any."""
+        run = self._slot_run(slot)
+        if run is not None:
+            return self.fs.device.write_range(run[0], run[1], background=background)
+        return self.fs.pwrite(
+            self.filename, slot * self.page_bytes, self.page_bytes,
+            background=background,
+        )
+
+    def _slot_run(self, slot: int) -> tuple[int, int] | None:
+        """The slot's device range — exactly what the filesystem would
+        resolve for its byte span — cached after the first lookup."""
+        try:
+            return self._slot_runs[slot]
+        except KeyError:
+            offset = slot * self.page_bytes
+            page_size = self._fs_page_size
+            first_page = offset // page_size
+            last_page = -(-(offset + self.page_bytes) // page_size)
+            run = self.fs.page_run(self.filename, first_page, last_page - first_page)
+            self._slot_runs[slot] = run
+            return run
 
     def free(self, slot: int) -> None:
         """Return a slot to the in-file free list (space is *not*

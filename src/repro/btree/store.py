@@ -23,7 +23,7 @@ from repro.btree.config import BTreeConfig
 from repro.btree.node import InternalNode, LeafNode
 from repro.btree.pager import Pager
 from repro.core.clock import VirtualClock
-from repro.errors import StoreClosedError
+from repro.errors import NoSpaceError, StoreClosedError
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore
 from repro.kv.stats import KVStats
@@ -138,6 +138,134 @@ class BTreeStore(KVStore):
         self.clock.advance(latency)
         return latency, results
 
+    # ------------------------------------------------------------------
+    # Batch API (bit-identical to the scalar loop; DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def put_many(self, keys, vseeds, vlens, until: float | None = None) -> int:
+        """Batched puts with tree-descent reuse.
+
+        Operations are applied strictly in order (reordering would
+        change the journal/eviction sequence and break the scalar
+        equivalence contract), but the descent is skipped when the
+        previous op's leaf provably covers the key — an in-place update
+        of a key the leaf already holds, or an append to the rightmost
+        leaf — and no split can occur (a split needs the descent path).
+        Journal, cache, checkpoint, and clock effects are exactly the
+        scalar ones, op by op.
+        """
+        if not isinstance(vlens, int) or self.clock.capturing:
+            return KVStore.put_many(self, keys, vseeds, vlens, until)
+        self._ensure_open()
+        n = len(keys)
+        if n == 0:
+            return 0
+        config = self.config
+        clock = self.clock
+        cpu = config.cpu_overhead
+        page_bytes = config.leaf_page_bytes
+        vlen = vlens
+        payload = config.key_bytes + vlen
+        entry_bytes = config.leaf_entry_bytes(vlen)
+        stats = self._stats
+        adjust = self.cache.adjust
+        keys_list = keys.tolist() if hasattr(keys, "tolist") else [int(k) for k in keys]
+        seeds_list = vseeds.tolist() if hasattr(vseeds, "tolist") \
+            else [int(s) for s in vseeds]
+        # Inlined journal-record accounting (see _journal): every put
+        # writes one ring record, so the call overhead is hot.  When
+        # the ring occupies one extent (it is pre-allocated, so this is
+        # the norm) records are submitted as cached device ranges.
+        journal = config.journal_enabled
+        record_bytes = payload + 32
+        ring = config.journal_ring_bytes
+        page_size = self.fs.page_size
+        fs_device = self.fs.device
+        ring_run = (self.fs.contiguous_device_range(self.JOURNAL_FILE)
+                    if journal else None)
+        ring_base = ring_run[0] if ring_run is not None else None
+        pwrite = self.fs.pwrite
+        checkpoint_interval = config.checkpoint_interval
+        checkpoint_log_bytes = config.checkpoint_log_bytes
+        touch = self.cache.touch
+        leaf = None
+        done = 0
+        # Local mirror of the clock: the engine only advances time at
+        # the end of each op (device calls read but never move it), so
+        # the boundary checks can use a plain float.
+        now = clock.now
+        try:
+            for i in range(n):
+                key = keys_list[i]
+                latency = cpu
+                path: list | None = None
+                update_idx = -1
+                reuse = False
+                if leaf is not None and (lkeys := leaf.keys):
+                    # Cheap bounds probe before the binary search: in
+                    # the measured (random-key) phase most ops land on
+                    # a different leaf, and two compares reject it.
+                    if lkeys[0] <= key <= lkeys[-1]:
+                        update_idx = leaf.find(key)
+                        if update_idx >= 0:
+                            reuse = leaf.nbytes - leaf.vlens[update_idx] + vlen \
+                                <= page_bytes
+                    elif leaf.next_leaf is None and key > lkeys[-1]:
+                        reuse = leaf.nbytes + entry_bytes <= page_bytes
+                if not reuse:
+                    leaf, path = self._descend(key)
+                    update_idx = -1
+                if not touch(id(leaf)):
+                    latency += self._fault_leaf(leaf)
+                before = leaf.nbytes
+                appending = False
+                if update_idx >= 0:
+                    # In-place update at the index the reuse probe
+                    # found (upsert's hit branch without re-searching).
+                    # The reuse guard bounds the new size, so no split
+                    # can follow.
+                    leaf.nbytes = before + vlen - leaf.vlens[update_idx]
+                    leaf.vseeds[update_idx] = seeds_list[i]
+                    leaf.vlens[update_idx] = vlen
+                    leaf.dirty = True
+                else:
+                    appending = not leaf.keys or key >= leaf.keys[-1]
+                    leaf.upsert(key, seeds_list[i], vlen, config)
+                adjust(leaf.nbytes - before)
+                if leaf.nbytes > page_bytes:
+                    latency += self._split_leaf(leaf, path, appending)
+                if journal:
+                    self.journal_bytes += record_bytes
+                    self._journal_since_checkpoint += record_bytes
+                    start = self._journal_offset
+                    if start + record_bytes > ring:
+                        latency += pwrite(self.JOURNAL_FILE, start, ring - start)
+                        latency += pwrite(self.JOURNAL_FILE, 0,
+                                          record_bytes - (ring - start))
+                    elif ring_base is not None:
+                        # The exact page range pwrite would submit.
+                        first_page = start // page_size
+                        last_page = -(-(start + record_bytes) // page_size)
+                        latency += fs_device.write_range(
+                            ring_base + first_page, last_page - first_page
+                        )
+                    else:
+                        latency += pwrite(self.JOURNAL_FILE, start, record_bytes)
+                    self._journal_offset = (start + record_bytes) % ring
+                stats.puts += 1
+                stats.user_bytes_written += payload
+                if (now - self._last_checkpoint >= checkpoint_interval
+                        or self._journal_since_checkpoint >= checkpoint_log_bytes):
+                    self._maybe_checkpoint()
+                clock.advance(latency)
+                now += latency
+                done += 1
+                if until is not None and now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
     def flush(self) -> None:
         """Force a checkpoint."""
         self._ensure_open()
@@ -238,6 +366,11 @@ class BTreeStore(KVStore):
         """Ensure *leaf* is cached; returns the user-visible latency."""
         if self.cache.touch(id(leaf)):
             return 0.0
+        return self._fault_leaf(leaf)
+
+    def _fault_leaf(self, leaf: LeafNode) -> float:
+        """Cache-miss path of :meth:`_make_resident` (touch already
+        counted): read the page in and reconcile what it evicts."""
         latency = self.pager.read(leaf.slot) if leaf.slot >= 0 else 0.0
         evicted = self.cache.insert(id(leaf), leaf)
         latency += self._reconcile_all(evicted)
@@ -313,9 +446,24 @@ class BTreeStore(KVStore):
         The metadata file is rewritten in place and the journal ring is
         logically truncated (space recycled, no reallocation), so the
         store's LBA footprint stays confined to its files.
+
+        The dirty set is written back as one batched pager submission:
+        slot alloc/free runs leaf by leaf (recycling is LIFO, so the
+        interleaving determines slot placement) and only the device
+        writes are deferred — accounting and placement are identical
+        to reconciling each leaf separately.
         """
-        for leaf in self.cache.dirty_pages():
-            self._reconcile(leaf, background=True)
+        dirty = self.cache.dirty_pages()
+        if dirty:
+            slots: list[int] = []
+            for leaf in dirty:
+                old_slot = leaf.slot
+                leaf.slot = self.pager.alloc_slot()
+                leaf.dirty = False
+                if old_slot >= 0:
+                    self.pager.free(old_slot)
+                slots.append(leaf.slot)
+            self.pager.write_slots(slots, background=True)
         meta_bytes = (
             self._internal_count * self.config.internal_page_bytes
             + self.config.internal_page_bytes

@@ -4,6 +4,7 @@
 ``repro run-figure fig5``        reproduce one figure and print its rows
 ``repro run --engine lsm ...``   run a single custom experiment
 ``repro campaign --preset ...``  run a grid of experiments on a worker pool
+``repro bench``                  wall-clock perf benchmark + regression check
 ``repro pitfalls``               print the seven-pitfall checklist
 """
 
@@ -96,6 +97,31 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--dry-run", action="store_true",
                           help="print the grid and pitfall audit, run nothing")
     campaign.set_defaults(func=_cmd_campaign)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure wall-clock sim throughput (the perf-regression harness)",
+        description=(
+            "Run the fig-2 update workload per engine, timing the simulator's "
+            "wall-clock throughput (DESIGN.md §6).  Writes BENCH_throughput.json; "
+            "--check compares against a baseline file and exits non-zero on a "
+            "sim-fingerprint drift or a >threshold perf regression."
+        ),
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="small scale only (the CI perf-smoke job)")
+    bench.add_argument("--repeat", type=int, default=2,
+                       help="batched-driver runs per case (best wall time wins)")
+    bench.add_argument("--out", default="BENCH_throughput.json",
+                       help="where to write the report (default %(default)s)")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="baseline report to compare against")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="allowed relative perf regression (default 0.30)")
+    bench.add_argument("--strict-wall", action="store_true",
+                       help="fail on absolute ops/sec regressions too "
+                            "(baseline must come from the same machine)")
+    bench.set_defaults(func=_cmd_bench)
 
     pitfalls = sub.add_parser("pitfalls", help="print the 7-pitfall checklist")
     pitfalls.set_defaults(func=_cmd_pitfalls)
@@ -204,6 +230,33 @@ def _cmd_campaign(args) -> int:
           f"in {outcome.wall_seconds:.1f}s with {args.workers} worker(s)")
     print()
     print(render_campaign(outcome.records, title=f"campaign {campaign.name!r}"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        check_regression, load_report, render_bench, run_bench, save_report,
+    )
+
+    report = run_bench(smoke=args.smoke, repeat=args.repeat)
+    print(render_bench(report))
+    save_report(report, args.out)
+    print(f"\nreport written to {args.out}")
+    if args.check:
+        baseline = load_report(args.check)
+        problems, warnings = check_regression(
+            report, baseline, threshold=args.threshold,
+            strict_wall=args.strict_wall,
+        )
+        for warning in warnings:
+            print(f"warning: {warning}")
+        if problems:
+            print(f"\nREGRESSION vs {args.check}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(threshold {args.threshold:.0%})")
     return 0
 
 

@@ -36,6 +36,16 @@ class VirtualClock:
         """Current virtual time in seconds."""
         return self._now + self._offset
 
+    @property
+    def capturing(self) -> bool:
+        """Whether an event step is capturing advances (DESIGN.md §4).
+
+        Engine batch fast paths check this: they buffer time locally
+        and re-sync through :meth:`advance_to`, which is only exact
+        outside capture mode.
+        """
+        return self._capturing
+
     def advance(self, dt: float) -> float:
         """Advance the clock by *dt* seconds and return the new time."""
         if dt < 0:

@@ -256,7 +256,8 @@ def build_stack(spec: ExperimentSpec):
 
 
 def run_experiment(spec: ExperimentSpec,
-                   use_client_pool: bool | None = None) -> ExperimentResult:
+                   use_client_pool: bool | None = None,
+                   batched: bool = True) -> ExperimentResult:
     """Run one full experiment and return its results.
 
     ``use_client_pool`` overrides the driver choice: by default the
@@ -265,6 +266,11 @@ def run_experiment(spec: ExperimentSpec,
     otherwise.  Forcing the pool at one client is the degenerate case
     used by seed-compatibility tests — it must produce bit-identical
     results.
+
+    ``batched=False`` forces the scalar (one-op-at-a-time) load and
+    runner loops; the default batched path is bit-identical to them
+    (DESIGN.md §6), so this switch exists for equivalence tests and
+    the perf-regression harness.
     """
     clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
     workload = spec.workload()
@@ -275,7 +281,7 @@ def run_experiment(spec: ExperimentSpec,
 
     # Load phase: sequential ingest (§3.2).  WA baselines include it;
     # the time series starts after it, exactly like the paper's plots.
-    load = load_sequential(store, workload)
+    load = load_sequential(store, workload, batch=batched)
     if not load.out_of_space:
         ssd.drain()
     collector.start_measurement()
@@ -310,6 +316,7 @@ def run_experiment(spec: ExperimentSpec,
                 sample_interval=spec.sample_interval,
                 on_sample=collector.sample,
                 max_ops=spec.max_ops,
+                batch=batched,
             )
         # Close the series, unless the final window is too small to be
         # meaningful (partial windows distort windowed rates).

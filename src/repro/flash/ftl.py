@@ -37,21 +37,19 @@ _OPEN = 1
 _CLOSED = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkUnits:
     """Physical flash work performed by one FTL call."""
 
     host_pages: int = 0  # pages programmed on behalf of the host
     gc_pages: int = 0  # pages programmed by GC relocation
     erases: int = 0  # blocks erased
-    read_pages: int = 0  # pages read on behalf of the host
 
     def merge(self, other: "WorkUnits") -> None:
         """Accumulate *other* into this instance."""
         self.host_pages += other.host_pages
         self.gc_pages += other.gc_pages
         self.erases += other.erases
-        self.read_pages += other.read_pages
 
     @property
     def programmed_pages(self) -> int:
@@ -97,6 +95,7 @@ class FlashTranslationLayer:
 
         ppb = config.pages_per_block
         self._ppb = ppb
+        self._logical_pages = n_logical  # hot-path cache of the config property
         # Watermarks are clamped by the physical spare capacity: with S
         # spare blocks the collector can sustainably keep at most S-2
         # blocks free (two blocks are always open for writing), so a
@@ -119,15 +118,28 @@ class FlashTranslationLayer:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    #: Batch sizes up to this go through the pure-int fast path: most
+    #: write traffic of the B+Tree engine (journal records, page
+    #: reconciliations) is 1-8 pages per request, where numpy's
+    #: per-call overhead dwarfs the actual bookkeeping.
+    SMALL_WRITE_PAGES = 8
+
     def write_pages(self, lpns: np.ndarray) -> WorkUnits:
         """Write the given logical pages (must be unique within the batch).
 
         Returns the physical work performed, including any garbage
         collection triggered by the writes.
         """
-        lpns = np.asarray(lpns, dtype=np.int64)
-        if lpns.size == 0:
+        n = len(lpns)
+        if n == 0:
             return WorkUnits()
+        if n <= self.SMALL_WRITE_PAGES:
+            work = WorkUnits()
+            self._write_few(lpns, work)
+            work.host_pages += n
+            self.total_host_pages += n
+            return work
+        lpns = np.asarray(lpns, dtype=np.int64)
         self._check_range(lpns)
         work = WorkUnits()
         if self.config.stream_separation:
@@ -149,16 +161,45 @@ class FlashTranslationLayer:
 
     def write_range(self, start: int, npages: int) -> WorkUnits:
         """Write ``npages`` consecutive logical pages starting at *start*."""
+        if npages > 0 and self._reloc_count is None:
+            # Consecutive ranges without stream separation (the default
+            # FTL) skip the page-list machinery entirely: the previous
+            # mappings come from one slice read (per-int for small
+            # requests, vectorized for large ones) and programming uses
+            # slice stores chunk by chunk — state-identical to the
+            # array path (invalidate whole batch, then program).
+            if start < 0 or start + npages > self._logical_pages:
+                raise OutOfRangeError("logical page outside device address space")
+            work = WorkUnits()
+            if npages <= self.SMALL_WRITE_PAGES:
+                p2l = self._p2l
+                valid = self._valid_count
+                ppb = self._ppb
+                for old in self._l2p[start : start + npages].tolist():
+                    if old >= 0:
+                        p2l[old] = -1
+                        valid[old // ppb] -= 1
+            else:
+                self._invalidate(self._l2p[start : start + npages])
+            self._program_range(start, npages, work)
+            work.host_pages += npages
+            self.total_host_pages += npages
+            return work
+        if 0 < npages <= self.SMALL_WRITE_PAGES:
+            work = WorkUnits()
+            self._write_few(range(start, start + npages), work)
+            work.host_pages += npages
+            self.total_host_pages += npages
+            return work
         return self.write_pages(np.arange(start, start + npages, dtype=np.int64))
 
-    def read_range(self, start: int, npages: int) -> WorkUnits:
+    def read_range(self, start: int, npages: int) -> None:
         """Read a consecutive logical range (accounting only)."""
-        if npages < 0 or start < 0 or start + npages > self.config.logical_pages:
+        if npages < 0 or start < 0 or start + npages > self._logical_pages:
             raise OutOfRangeError(
                 f"read [{start}, {start + npages}) outside logical space"
             )
         self.total_read_pages += npages
-        return WorkUnits(read_pages=npages)
 
     def trim_range(self, start: int, npages: int) -> int:
         """Invalidate the mappings of a consecutive logical range.
@@ -230,6 +271,74 @@ class FlashTranslationLayer:
             return
         self._p2l[live] = -1
         np.subtract.at(self._valid_count, live // self._ppb, 1)
+
+    def _write_few(self, lpns, work: WorkUnits) -> None:
+        """Small-batch write path on Python ints (no numpy temporaries).
+
+        Replays the exact semantics of the array path — invalidate the
+        whole batch first, then program cold before hot — so the two
+        paths are state-identical for any batch that fits both.
+        """
+        l2p = self._l2p
+        p2l = self._p2l
+        valid = self._valid_count
+        ppb = self._ppb
+        logical = self._logical_pages
+        reloc = self._reloc_count
+        cold: list[int] = []
+        hot: list[int] = []
+        for lpn in lpns:
+            lpn = int(lpn)
+            if lpn < 0 or lpn >= logical:
+                raise OutOfRangeError("logical page outside device address space")
+            old = int(l2p[lpn])
+            if old >= 0:
+                p2l[old] = -1
+                valid[old // ppb] -= 1
+                (hot if reloc is not None else cold).append(lpn)
+            else:
+                cold.append(lpn)
+            if reloc is not None:
+                reloc[lpn] = 0  # host writes reset the cold clock
+        heads = self._heads
+        for head, group in (("cold", cold), ("hot", hot)):
+            for lpn in group:
+                block, off = self._open_block(head, work)
+                ppn = block * ppb + off
+                p2l[ppn] = lpn
+                l2p[lpn] = ppn
+                valid[block] += 1
+                heads[head][1] = off + 1
+
+    def _program_range(self, start: int, npages: int, work: WorkUnits,
+                       head: str = "cold") -> None:
+        """Program a consecutive logical range (no stream separation).
+
+        Chunking through open blocks matches :meth:`_program` exactly;
+        consecutive lpns map to consecutive ppns within a chunk, so the
+        mapping updates are slice stores instead of fancy indexing.
+        """
+        l2p = self._l2p
+        p2l = self._p2l
+        valid = self._valid_count
+        ppb = self._ppb
+        heads = self._heads
+        i = 0
+        while i < npages:
+            block, off = self._open_block(head, work)
+            take = min(ppb - off, npages - i)
+            lpn0 = start + i
+            ppn0 = block * ppb + off
+            if take >= 4:
+                p2l[ppn0 : ppn0 + take] = np.arange(lpn0, lpn0 + take, dtype=np.int64)
+                l2p[lpn0 : lpn0 + take] = np.arange(ppn0, ppn0 + take, dtype=np.int64)
+            else:
+                for k in range(take):
+                    p2l[ppn0 + k] = lpn0 + k
+                    l2p[lpn0 + k] = ppn0 + k
+            valid[block] += take
+            heads[head][1] = off + take
+            i += take
 
     def _program(self, lpns: np.ndarray, work: WorkUnits, head: str) -> None:
         """Program *lpns* into the given write head, chunk by chunk."""

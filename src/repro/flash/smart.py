@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class SmartAttributes:
     """Cumulative device counters, all monotonically non-decreasing."""
 

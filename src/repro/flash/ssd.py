@@ -127,6 +127,17 @@ class SSD:
         self.config = config
         self.clock = clock
         self.smart = SmartAttributes()
+        # Hot-path caches of config properties/fields (the config is
+        # frozen, so these can never go stale).
+        self._npages = config.logical_pages
+        self._page_size = config.page_size
+        self._program_time = config.program_time
+        self._erase_time = config.erase_time
+        self._nchannels = config.channels
+        self._bus_bytes_per_s = config.bus_bytes_per_s
+        self._host_write_latency = config.write_latency
+        self._cache_drain_window = config.cache_drain_window
+        self._fold_penalty = config.fold_penalty
         if config.byte_addressable:
             self.ftl = None
             self._mapped = np.zeros(config.logical_pages, dtype=bool)
@@ -163,21 +174,28 @@ class SSD:
         Returns the host-visible latency in seconds; background writes
         return 0.0 but still queue flash work and count in SMART.
         """
-        lpns = np.asarray(lpns, dtype=np.int64)
-        if lpns.size == 0:
+        n = len(lpns)
+        if n == 0:
             return 0.0
-        work = self._do_write(lpns)
-        return self._account_write(int(lpns.size), work, background)
+        if self.ftl is not None:
+            # The FTL validates the range itself and has a smallbatch
+            # fast path, so the array round-trip is skipped here.
+            work = self.ftl.write_pages(lpns)
+        else:
+            lpns = np.asarray(lpns, dtype=np.int64)
+            self._mapped[lpns] = True
+            work = WorkUnits(host_pages=n)
+        return self._account_write(n, work, background)
 
     def write_range(self, start: int, npages: int, background: bool = False) -> float:
         """Write a consecutive logical range."""
         if npages <= 0:
             return 0.0
-        if self.ftl is not None:
+        if start < 0 or start + npages > self._npages:
             self._check(start, npages)
+        if self.ftl is not None:
             work = self.ftl.write_range(start, npages)
         else:
-            self._check(start, npages)
             self._mapped[start : start + npages] = True
             work = WorkUnits(host_pages=npages)
         return self._account_write(npages, work, background)
@@ -186,11 +204,15 @@ class SSD:
         """Read a consecutive logical range; returns host-visible latency."""
         if npages <= 0:
             return 0.0
-        self._check(start, npages)
-        if self.ftl is not None:
-            self.ftl.read_range(start, npages)
+        if start < 0 or start + npages > self._npages:
+            self._check(start, npages)
+        ftl = self.ftl
+        if ftl is not None:
+            # Inlined ftl.read_range: pure accounting, bounds already
+            # checked against the same logical space.
+            ftl.total_read_pages += npages
         cfg = self.config
-        nbytes = npages * cfg.page_size
+        nbytes = npages * self._page_size
         if self._channels is not None:
             latency = self._read_channelized(start, npages, nbytes)
         else:
@@ -203,9 +225,10 @@ class SSD:
             if backlog > 0 and cfg.read_contention > 0:
                 saturation = min(1.0, backlog / cfg.read_contention_window)
                 latency *= 1.0 + cfg.read_contention * saturation
-        self.smart.host_bytes_read += nbytes
-        self.smart.nand_bytes_read += nbytes
-        self.smart.host_read_requests += 1
+        smart = self.smart
+        smart.host_bytes_read += nbytes
+        smart.nand_bytes_read += nbytes
+        smart.host_read_requests += 1
         return latency
 
     def trim_range(self, start: int, npages: int) -> None:
@@ -249,6 +272,16 @@ class SSD:
             return []
         now = self.clock.now
         return [max(0.0, b - now) for b in self._channels.busy]
+
+    @property
+    def scalar_busy_until(self) -> float:
+        """Absolute drain time of the scalar busy horizon.
+
+        Only meaningful while channel timing is off; engine batch fast
+        paths read it once per run to recompute the write-stall penalty
+        without a call chain per operation (DESIGN.md §6).
+        """
+        return self._busy_until
 
     def backlog_seconds(self, at: float | None = None) -> float:
         """Seconds of queued *write* work not yet completed at time *at*.
@@ -310,39 +343,32 @@ class SSD:
     # Internals
     # ------------------------------------------------------------------
     def _check(self, start: int, npages: int) -> None:
-        if start < 0 or start + npages > self.npages:
+        if start < 0 or start + npages > self._npages:
             raise OutOfRangeError(
                 f"range [{start}, {start + npages}) outside logical space "
-                f"of {self.npages} pages"
+                f"of {self._npages} pages"
             )
 
-    def _do_write(self, lpns: np.ndarray) -> WorkUnits:
-        if self.ftl is not None:
-            return self.ftl.write_pages(lpns)
-        self._mapped[lpns] = True
-        return WorkUnits(host_pages=int(lpns.size))
-
-    def _flash_time(self, work: WorkUnits) -> float:
-        cfg = self.config
-        return (
-            work.programmed_pages * cfg.program_time + work.erases * cfg.erase_time
-        ) / cfg.channels
-
     def _account_write(self, npages: int, work: WorkUnits, background: bool) -> float:
-        cfg = self.config
-        nbytes = npages * cfg.page_size
-        self.smart.host_bytes_written += nbytes
-        self.smart.host_write_requests += 1
-        self.smart.nand_bytes_written += work.programmed_pages * cfg.page_size
-        self.smart.gc_bytes_relocated += work.gc_pages * cfg.page_size
-        self.smart.nand_bytes_read += work.gc_pages * cfg.page_size
-        self.smart.blocks_erased += work.erases
+        smart = self.smart
+        page_size = self._page_size
+        nbytes = npages * page_size
+        smart.host_bytes_written += nbytes
+        smart.host_write_requests += 1
+        if work.gc_pages or work.erases:
+            gc_bytes = work.gc_pages * page_size
+            smart.nand_bytes_written += (work.host_pages + work.gc_pages) * page_size
+            smart.gc_bytes_relocated += gc_bytes
+            smart.nand_bytes_read += gc_bytes
+            smart.blocks_erased += work.erases
+        else:
+            smart.nand_bytes_written += work.host_pages * page_size
 
         now = self.clock.now
         fold = 1.0
         if (
-            cfg.fold_penalty > 1.0
-            and self.backlog_seconds() > 1.25 * cfg.cache_drain_window
+            self._fold_penalty > 1.0
+            and self.backlog_seconds() > 1.25 * self._cache_drain_window
         ):
             # The SLC cache is overwhelmed: folding into QLC multiplies
             # the effective cost of the incoming writes (§4.7's "large
@@ -350,27 +376,30 @@ class SSD:
             # self-clock at the cache window and never reach this
             # threshold; bursty background writers (LSM flushes and
             # compactions) push far past it and pay the folding cost.
-            fold = cfg.fold_penalty
-            self.smart.fold_events += 1
+            fold = self._fold_penalty
+            smart.fold_events += 1
         if self._channels is not None:
             self._queue_flash_work(work, fold, now)
             if background:
                 return 0.0
-            transfer = nbytes / cfg.bus_bytes_per_s
+            transfer = nbytes / self._bus_bytes_per_s
             completion = max(
-                now + transfer + cfg.write_latency,
-                now + self.backlog_seconds() - cfg.cache_drain_window,
+                now + transfer + self._host_write_latency,
+                now + self.backlog_seconds() - self._cache_drain_window,
             )
             return completion - now
-        flash_time = self._flash_time(work) * fold
+        flash_time = (
+            (work.host_pages + work.gc_pages) * self._program_time
+            + work.erases * self._erase_time
+        ) / self._nchannels * fold
         start = max(self._busy_until, now)
         self._busy_until = start + flash_time
         if background:
             return 0.0
-        transfer = nbytes / cfg.bus_bytes_per_s
+        transfer = nbytes / self._bus_bytes_per_s
         completion = max(
-            now + transfer + cfg.write_latency,
-            self._busy_until - cfg.cache_drain_window,
+            now + transfer + self._host_write_latency,
+            self._busy_until - self._cache_drain_window,
         )
         return completion - now
 

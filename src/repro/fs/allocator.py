@@ -21,7 +21,7 @@ Three strategies are provided:
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 
 import numpy as np
 
@@ -45,6 +45,11 @@ class ExtentAllocator:
         self._rng = np.random.default_rng(seed)
         self._starts: list[int] = [0]
         self._lens: dict[int, int] = {0: npages}
+        # Extent lengths in _starts order: the scatter strategy weights
+        # every allocation by extent size, and rebuilding that vector
+        # from the dict dominated allocation cost on fragmented
+        # filesystems.  Kept strictly parallel to _starts.
+        self._len_list: list[int] = [npages]
         self._rotor = 0
         self.free_pages = npages
         self.peak_used_pages = 0
@@ -94,14 +99,17 @@ class ExtentAllocator:
         if idx < len(self._starts) and self._starts[idx] == start + npages:
             npages += self._lens.pop(self._starts[idx])
             del self._starts[idx]
+            del self._len_list[idx]
         # Coalesce with predecessor.
         if idx > 0:
             prev_start = self._starts[idx - 1]
             if prev_start + self._lens[prev_start] == start:
                 self._lens[prev_start] += npages
+                self._len_list[idx - 1] += npages
                 self.free_pages += freed
                 return
-        insort(self._starts, start)
+        self._starts.insert(idx, start)
+        self._len_list.insert(idx, npages)
         self._lens[start] = npages
         self.free_pages += freed
 
@@ -122,6 +130,8 @@ class ExtentAllocator:
         """Verify internal consistency; raises ``AssertionError`` on bugs."""
         assert self._starts == sorted(self._starts)
         assert set(self._starts) == set(self._lens)
+        assert self._len_list == [self._lens[s] for s in self._starts], \
+            "length cache out of sync with the free-extent list"
         total = 0
         prev_end = -1
         for start in self._starts:
@@ -143,12 +153,16 @@ class ExtentAllocator:
         if self.strategy == "scatter":
             # Start from a size-weighted random extent (uniform over free
             # pages), then continue round-robin so large requests can
-            # gather multiple extents.
+            # gather multiple extents.  This inlines
+            # ``rng.choice(count, p=weights / weights.sum())`` — same
+            # arithmetic, same single ``random()`` draw, so the extent
+            # stream is bit-identical (pinned by a test) — without
+            # choice's per-call validation overhead.
             count = len(self._starts)
-            weights = np.fromiter(
-                (self._lens[s] for s in self._starts), dtype=np.float64, count=count
-            )
-            pivot = int(self._rng.choice(count, p=weights / weights.sum()))
+            weights = np.array(self._len_list, dtype=np.float64)
+            cdf = (weights / weights.sum()).cumsum()
+            cdf /= cdf[-1]
+            pivot = int(cdf.searchsorted(self._rng.random(), side="right"))
             return list(range(pivot, count)) + list(range(pivot))
         pivot = bisect_left(self._starts, self._rotor)
         if pivot > 0:
@@ -194,15 +208,19 @@ class ExtentAllocator:
         length = self._lens[extent_start]
         idx = bisect_left(self._starts, extent_start)
         del self._starts[idx]
+        del self._len_list[idx]
         del self._lens[extent_start]
         head = take_from - extent_start
         tail = (extent_start + length) - (take_from + take)
         if head > 0:
-            insort(self._starts, extent_start)
+            self._starts.insert(idx, extent_start)
+            self._len_list.insert(idx, head)
             self._lens[extent_start] = head
+            idx += 1
         if tail > 0:
             tail_start = take_from + take
-            insort(self._starts, tail_start)
+            self._starts.insert(idx, tail_start)
+            self._len_list.insert(idx, tail)
             self._lens[tail_start] = tail
         self.free_pages -= take
         self.peak_used_pages = max(self.peak_used_pages, self.npages - self.free_pages)

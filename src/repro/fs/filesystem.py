@@ -138,8 +138,8 @@ class ExtentFilesystem:
         # Pages touched: the (possibly partial) page containing old EOF
         # through the last page of the new EOF.
         first_page = old_size // self.page_size
-        lpns = self._file_lpns(meta, first_page, new_pages - first_page)
-        return self.device.write_pages(lpns, background=background)
+        return self._write_file_pages(meta, first_page, new_pages - first_page,
+                                      background)
 
     def reserve(self, name: str, nbytes: int) -> None:
         """Extend a file by *nbytes* without writing (``fallocate``).
@@ -190,9 +190,55 @@ class ExtentFilesystem:
             self._patch_data(meta, offset, data_or_size)
         first_page = offset // self.page_size
         last_page = _ceil_div(end, self.page_size)
-        lpns = self._file_lpns(meta, first_page, last_page - first_page)
-        latency += self.device.write_pages(lpns, background=background)
+        latency += self._write_file_pages(meta, first_page,
+                                          last_page - first_page, background)
         return latency
+
+    def _write_file_pages(self, meta: FileMeta, first_page: int, count: int,
+                          background: bool) -> float:
+        """Submit a file page range to the device.
+
+        A range inside one extent — the overwhelmingly common shape —
+        is submitted as a consecutive device range (no page-list
+        materialization anywhere down the stack); only extent-spanning
+        ranges build the explicit page list.  Device accounting is
+        identical either way: one host request for the same pages.
+        """
+        run = self._single_run(meta, first_page, count)
+        if run is not None:
+            return self.device.write_range(run[0], run[1], background=background)
+        return self.device.write_pages(
+            self._file_lpns(meta, first_page, count), background=background
+        )
+
+    def contiguous_device_range(self, name: str) -> tuple[int, int] | None:
+        """(device_start, npages) when the file occupies one extent.
+
+        Fixed-footprint hot files (the B+Tree's pre-allocated journal
+        ring) cache this translation and submit their page writes as
+        device ranges directly — exactly the range ``pwrite`` would
+        compute, minus the per-record resolution.  Returns None for
+        multi-extent files; callers must then go through ``pwrite``.
+        The cache is sound only while the file is neither extended nor
+        deleted, which a ring guarantees by construction.
+        """
+        extents = self._lookup(name).extents
+        if len(extents) == 1:
+            return extents[0]
+        return None
+
+    def page_run(self, name: str, first_page: int,
+                 count: int) -> tuple[int, int] | None:
+        """Device range of file pages [first_page, first_page+count), or
+        None when the range spans extents.
+
+        Once allocated, a file page's device location never changes
+        (extents are only appended, and appending can only merge into
+        the tail extent without moving it), so fixed-slot writers (the
+        B+Tree pager) may cache this resolution for files they never
+        truncate or delete and submit device ranges directly.
+        """
+        return self._single_run(self._lookup(name), first_page, count)
 
     def pread(self, name: str, offset: int, nbytes: int) -> tuple[float, bytes | None]:
         """Read a byte range; returns (latency, data-or-None).
@@ -209,9 +255,14 @@ class ExtentFilesystem:
             )
         first_page = offset // self.page_size
         last_page = _ceil_div(offset + nbytes, self.page_size)
-        latency = 0.0
-        for start, length in self._file_runs(meta, first_page, last_page - first_page):
-            latency += self.device.read_range(start, length)
+        count = last_page - first_page
+        run = self._single_run(meta, first_page, count)
+        if run is not None:
+            latency = self.device.read_range(*run)
+        else:
+            latency = 0.0
+            for start, length in self._file_runs(meta, first_page, count):
+                latency += self.device.read_range(start, length)
         data = bytes(meta.data[offset : offset + nbytes]) if self.record_data else None
         return latency, data
 
@@ -251,7 +302,7 @@ class ExtentFilesystem:
     def file_device_pages(self, name: str) -> np.ndarray:
         """All device pages of a file, in file order (for tests/traces)."""
         meta = self._lookup(name)
-        return self._file_lpns(meta, 0, meta.npages)
+        return np.asarray(self._file_lpns(meta, 0, meta.npages), dtype=np.int64)
 
     def check_invariants(self) -> None:
         """Verify allocator/file consistency; raises on bugs."""
@@ -290,6 +341,39 @@ class ExtentFilesystem:
                 return
         meta.extents.append(extent)
 
+    #: Page counts up to this are submitted as Python-int lists when
+    #: they fall inside one extent run — the dominant shape of journal
+    #: records and page reconciliations, where numpy round-trips cost
+    #: more than the I/O bookkeeping itself.
+    SMALL_IO_PAGES = 8
+
+    def _single_run(self, meta: FileMeta, first_page: int,
+                    count: int) -> tuple[int, int] | None:
+        """(device_start, count) when the page range sits in one extent,
+        else None (callers fall back to the multi-run path)."""
+        extents = meta.extents
+        if len(extents) == 1:
+            # One-extent files (the pre-allocated journal ring, small
+            # logs) resolve with pure arithmetic.
+            start, length = extents[0]
+            if first_page + count > length:
+                raise FilesystemError(
+                    f"file {meta.name!r} has no pages for requested range"
+                )
+            return (start + first_page, count)
+        cumulative = meta.cumulative()
+        if not cumulative or first_page + count > cumulative[-1]:
+            raise FilesystemError(
+                f"file {meta.name!r} has no pages for requested range"
+            )
+        idx = bisect_right(cumulative, first_page)
+        preceding = cumulative[idx - 1] if idx > 0 else 0
+        start, length = extents[idx]
+        skip = first_page - preceding
+        if skip + count <= length:
+            return (start + skip, count)
+        return None
+
     def _file_runs(self, meta: FileMeta, first_page: int, count: int):
         """Yield (device_start, length) runs covering file pages
         [first_page, first_page+count)."""
@@ -312,7 +396,14 @@ class ExtentFilesystem:
             skip = 0
             idx += 1
 
-    def _file_lpns(self, meta: FileMeta, first_page: int, count: int) -> np.ndarray:
+    def _file_lpns(self, meta: FileMeta, first_page: int, count: int):
+        """Device pages for a file range: a Python-int list for small
+        single-run requests, an int64 array otherwise."""
+        if count <= self.SMALL_IO_PAGES:
+            run = self._single_run(meta, first_page, count)
+            if run is not None:
+                start, length = run
+                return list(range(start, start + length))
         runs = list(self._file_runs(meta, first_page, count))
         if len(runs) == 1:
             start, length = runs[0]

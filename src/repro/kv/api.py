@@ -11,13 +11,39 @@ the single-user-thread methodology of §3.2.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
+from repro.errors import NoSpaceError
 from repro.kv.stats import KVStats
 from repro.kv.values import Value
 
 
 class KVStore(ABC):
-    """Abstract persistent key-value store."""
+    """Abstract persistent key-value store.
+
+    Concrete stores expose a ``clock`` attribute (the shared
+    :class:`~repro.core.clock.VirtualClock`); the batch methods below
+    rely on it to honour their ``until`` boundary.
+
+    Batch API contract (DESIGN.md §6)
+    =================================
+
+    ``put_many`` / ``get_many`` / ``delete_many`` / ``scan_many`` apply
+    their operations *in order* with per-op clock advancement and are
+    required to be bit-identical — clock, SMART counters, stats, and
+    store state — to the equivalent sequence of scalar calls.  The
+    default implementations below guarantee that by construction;
+    engines override them with natively batched hot paths whose
+    equivalence is pinned by tests.  Two further conventions let the
+    batched workload runner drive these methods without losing the
+    scalar driver's semantics:
+
+    * ``until``: stop after the first operation that carries the clock
+      to or past this virtual time and return the count performed, so
+      sampling callbacks fire at exactly the scalar op boundaries;
+    * on out-of-space, the raised :class:`NoSpaceError` carries the
+      number of completed operations in ``ops_done``.
+    """
 
     name: str = "abstract"
 
@@ -36,6 +62,83 @@ class KVStore(ABC):
     @abstractmethod
     def scan(self, start_key: int, count: int) -> tuple[float, list[tuple[int, Value]]]:
         """Return up to *count* pairs with key >= start_key, in order."""
+
+    # ------------------------------------------------------------------
+    # Batch API (see class docstring for the contract)
+    # ------------------------------------------------------------------
+    def put_many(self, keys: Sequence[int], vseeds: Sequence[int],
+                 vlens: int | Sequence[int], until: float | None = None) -> int:
+        """Insert/update a batch; returns the operations performed.
+
+        ``keys`` and ``vseeds`` are parallel sequences (numpy arrays on
+        the hot path — see :func:`repro.kv.values.seeds_for`); ``vlens``
+        is one int for all values or a per-op sequence.
+        """
+        clock = self.clock
+        done = 0
+        scalar_vlen = isinstance(vlens, int)
+        try:
+            for i in range(len(keys)):
+                vlen = vlens if scalar_vlen else int(vlens[i])
+                self.put(int(keys[i]), Value(int(vseeds[i]), vlen))
+                done += 1
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def get_many(self, keys: Sequence[int], until: float | None = None) -> int:
+        """Look up a batch of keys; returns the operations performed.
+
+        Lookups are issued for their timing/accounting side effects
+        (this is the workload-driver surface); use :meth:`get` when the
+        values themselves are needed.
+        """
+        clock = self.clock
+        done = 0
+        try:
+            for i in range(len(keys)):
+                self.get(int(keys[i]))
+                done += 1
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def delete_many(self, keys: Sequence[int], until: float | None = None) -> int:
+        """Delete a batch of keys; returns the operations performed."""
+        clock = self.clock
+        done = 0
+        try:
+            for i in range(len(keys)):
+                self.delete(int(keys[i]))
+                done += 1
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def scan_many(self, start_keys: Sequence[int], count: int,
+                  until: float | None = None) -> int:
+        """Issue a batch of scans; returns the operations performed."""
+        clock = self.clock
+        done = 0
+        try:
+            for i in range(len(start_keys)):
+                self.scan(int(start_keys[i]), count)
+                done += 1
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
 
     @abstractmethod
     def flush(self) -> None:

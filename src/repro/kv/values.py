@@ -42,3 +42,22 @@ def value_for(key: int, version: int, length: int) -> Value:
     that every write of a key has distinguishable, reproducible content."""
     seed = (key * 0x9E3779B97F4A7C15 + version * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
     return Value(seed=seed, length=length)
+
+
+_KEY_MULT = np.uint64(0x9E3779B97F4A7C15)
+_VERSION_MULT = np.uint64(0xC2B2AE3D27D4EB4F)
+
+
+def seeds_for(keys: np.ndarray, versions: np.ndarray | int) -> np.ndarray:
+    """Vectorized :func:`value_for` seeds for whole key batches.
+
+    ``seeds_for(keys, versions)[i]`` equals
+    ``value_for(keys[i], versions[i], ...).seed`` bit for bit (uint64
+    wrap-around matches the masked Python-int arithmetic), so the
+    batched workload runner produces the exact payload stream of the
+    scalar path.
+    """
+    with np.errstate(over="ignore"):
+        k = np.asarray(keys, dtype=np.int64).astype(np.uint64)
+        v = np.asarray(versions, dtype=np.int64).astype(np.uint64)
+        return k * _KEY_MULT + v * _VERSION_MULT

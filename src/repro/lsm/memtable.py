@@ -49,6 +49,40 @@ class MemTable:
         """Whether the memtable reached its flush threshold."""
         return self.approximate_bytes >= self.config.memtable_bytes
 
+    # ------------------------------------------------------------------
+    # Bulk write path (DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def capacity_for(self, entry_bytes: int) -> int:
+        """Entries of *entry_bytes* each that keep the memtable below
+        its flush threshold (the next op after these triggers
+        rotation, exactly like the scalar ``full`` check)."""
+        remaining = self.config.memtable_bytes - 1 - self.approximate_bytes
+        return max(0, remaining // entry_bytes)
+
+    def bulk_put(self, keys: list[int], first_seq: int,
+                 vseeds: list[int], vlen: int) -> None:
+        """Batched equal-size puts as one dict update.
+
+        Equivalent to ``put(keys[i], first_seq + i, vseeds[i], vlen)``
+        for every *i*; callers bound the batch with
+        :meth:`capacity_for` so no rotation is skipped.
+        """
+        n = len(keys)
+        self._entries.update(zip(keys, zip(
+            range(first_seq, first_seq + n), vseeds, (vlen,) * n, (KIND_PUT,) * n
+        )))
+        self.approximate_bytes += n * (
+            self.config.key_bytes + self.config.entry_overhead + vlen
+        )
+
+    def bulk_delete(self, keys: list[int], first_seq: int) -> None:
+        """Batched tombstones as one dict update (see :meth:`bulk_put`)."""
+        n = len(keys)
+        self._entries.update(zip(keys, zip(
+            range(first_seq, first_seq + n), (0,) * n, (0,) * n, (KIND_DELETE,) * n
+        )))
+        self.approximate_bytes += n * (self.config.key_bytes + self.config.entry_overhead)
+
     def sorted_arrays(self) -> tuple[np.ndarray, ...]:
         """Entries as (keys, seqs, vseeds, vlens, kinds), sorted by key.
 

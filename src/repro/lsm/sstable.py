@@ -44,11 +44,10 @@ class SSTable:
         entry_bytes = config.key_bytes + config.entry_overhead + vlens
         self._offsets = np.zeros(len(keys) + 1, dtype=np.int64)
         np.cumsum(entry_bytes, out=self._offsets[1:])
-        if config.bloom_bits_per_key > 0:
-            self.bloom = BloomFilter(len(keys), config.bloom_bits_per_key)
-            self.bloom.add_many(keys)
-        else:
-            self.bloom = None  # filters disabled (ablation)
+        self.min_key = int(keys[0])
+        self.max_key = int(keys[-1])
+        self._bloom: BloomFilter | None = None
+        self._bloom_enabled = config.bloom_bits_per_key > 0
 
     # ------------------------------------------------------------------
     # Metadata
@@ -64,14 +63,19 @@ class SSTable:
         return len(self.keys)
 
     @property
-    def min_key(self) -> int:
-        """Smallest key in the table."""
-        return int(self.keys[0])
+    def bloom(self) -> BloomFilter | None:
+        """The table's bloom filter, or None when disabled (ablation).
 
-    @property
-    def max_key(self) -> int:
-        """Largest key in the table."""
-        return int(self.keys[-1])
+        Built lazily on first use: filters are memory-resident and cost
+        no device I/O, so deferring construction to the first probe is
+        invisible to every simulated metric — and update-only
+        workloads (the paper's default) never pay for it at all.
+        """
+        if self._bloom is None and self._bloom_enabled:
+            bloom = BloomFilter(len(self.keys), self.config.bloom_bits_per_key)
+            bloom.add_many(self.keys)
+            self._bloom = bloom
+        return self._bloom
 
     @property
     def data_bytes(self) -> int:
@@ -89,7 +93,7 @@ class SSTable:
         """Bloom-filter test (no device I/O; filters are cached)."""
         if key < self.min_key or key > self.max_key:
             return False
-        if self.bloom is None:
+        if not self._bloom_enabled:
             return True  # no filter: every in-range probe pays a read
         return self.bloom.may_contain(key)
 

@@ -32,7 +32,7 @@ import itertools
 import numpy as np
 
 from repro.core.clock import VirtualClock
-from repro.errors import StoreClosedError
+from repro.errors import NoSpaceError, StoreClosedError
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore
 from repro.kv.stats import KVStats
@@ -56,7 +56,7 @@ class LSMStore(KVStore):
         self.clock = clock
         self.config = config or LSMConfig()
         self._stats = KVStats()
-        self._seq = itertools.count(1)
+        self._next_seq = 1  # global write sequence (int, so batches can reserve ranges)
         self._table_ids = itertools.count(1)
         self._wal_ids = itertools.count(1)
         self.version = Version(self.config)
@@ -72,6 +72,7 @@ class LSMStore(KVStore):
         self.scheduler = None  # event-driven background work when attached
         self._bg_worker = None  # FIFO background-thread resource
         self.inline_takeovers = 0  # write-path flushes forced by pile-up
+        self._ssd = None  # cached device resolution for the batch fast path
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -82,7 +83,9 @@ class LSMStore(KVStore):
         latency = self.config.cpu_overhead
         if self.wal is not None:
             latency += self.wal.append(self.config.key_bytes + value.length)
-        self.memtable.put(key, next(self._seq), value.seed, value.length)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self.memtable.put(key, seq, value.seed, value.length)
         self._stats.puts += 1
         self._stats.user_bytes_written += self.config.key_bytes + value.length
         latency += self._after_write()
@@ -95,7 +98,9 @@ class LSMStore(KVStore):
         latency = self.config.cpu_overhead
         if self.wal is not None:
             latency += self.wal.append(self.config.key_bytes)
-        self.memtable.delete(key, next(self._seq))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self.memtable.delete(key, seq)
         self._stats.deletes += 1
         self._stats.user_bytes_written += self.config.key_bytes
         latency += self._after_write()
@@ -153,6 +158,183 @@ class LSMStore(KVStore):
         self._stats.scans += 1
         self.clock.advance(latency)
         return latency, results
+
+    # ------------------------------------------------------------------
+    # Batch API (bit-identical to the scalar loops; DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def put_many(self, keys, vseeds, vlens, until: float | None = None) -> int:
+        """Batched puts: bulk memtable upsert + batched WAL accounting.
+
+        Between device events (WAL write-outs, memtable rotations) a
+        put's only side effects are pure accounting plus the write-stall
+        penalty, so runs of ops are applied as one dict update while the
+        clock/penalty recurrence is replayed op by op with the scalar
+        path's exact arithmetic.  Ops that trigger device work go
+        through the scalar :meth:`put` itself.
+        """
+        if not isinstance(vlens, int):
+            return KVStore.put_many(self, keys, vseeds, vlens, until)
+        return self._write_many(keys, vseeds, vlens, until, delete=False)
+
+    def delete_many(self, keys, until: float | None = None) -> int:
+        """Batched tombstones (see :meth:`put_many`)."""
+        return self._write_many(keys, None, 0, until, delete=True)
+
+    def get_many(self, keys, until: float | None = None) -> int:
+        """Batched point lookups with a memtable-hit fast path."""
+        self._ensure_open()
+        n = len(keys)
+        if n == 0:
+            return 0
+        clock = self.clock
+        cpu = self.config.cpu_overhead
+        key_bytes = self.config.key_bytes
+        stats = self._stats
+        memtable_get = self.memtable.get
+        done = 0
+        try:
+            for i in range(n):
+                key = int(keys[i])
+                entry = memtable_get(key)
+                if entry is not None:
+                    # Memtable hit: no device work, constant CPU cost.
+                    _seq, _vseed, vlen, kind = entry
+                    stats.gets += 1
+                    if kind == KIND_PUT:
+                        stats.user_bytes_read += key_bytes + vlen
+                    clock.advance(cpu)
+                else:
+                    self.get(key)
+                    memtable_get = self.memtable.get  # may have rotated
+                done += 1
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def _write_many(self, keys, vseeds, vlen: int, until: float | None,
+                    delete: bool) -> int:
+        """Shared batched write path for puts and deletes."""
+        self._ensure_open()
+        n = len(keys)
+        if n == 0:
+            return 0
+        ssd = self._scalar_mode_ssd()
+        if ssd is None or self.scheduler is not None or self.clock.capturing:
+            if delete:
+                return KVStore.delete_many(self, keys, until)
+            return KVStore.put_many(self, keys, vseeds, vlen, until)
+
+        config = self.config
+        clock = self.clock
+        cpu = config.cpu_overhead
+        soft = config.backlog_soft_limit
+        hard = config.backlog_hard_limit
+        slowdown = config.slowdown_factor
+        payload = config.key_bytes if delete else config.key_bytes + vlen
+        entry_bytes = config.key_bytes + config.entry_overhead + (0 if delete else vlen)
+        keys_list = [int(k) for k in keys] if not hasattr(keys, "tolist") \
+            else keys.tolist()
+        seeds_list = None if vseeds is None else (
+            vseeds.tolist() if hasattr(vseeds, "tolist") else [int(s) for s in vseeds]
+        )
+        done = 0
+        try:
+            while done < n:
+                cap = n - done
+                if self.wal is not None:
+                    cap = min(cap, self.wal.capacity_for(payload))
+                cap = min(cap, self.memtable.capacity_for(entry_bytes))
+                if cap <= 0:
+                    # The next op triggers a WAL write-out or a memtable
+                    # rotation: run it through the scalar path, which
+                    # performs the device work with exact semantics.
+                    if delete:
+                        self.delete(keys_list[done])
+                    else:
+                        self.put(keys_list[done], Value(seeds_list[done], vlen))
+                    done += 1
+                    if until is not None and clock.now >= until:
+                        break
+                    continue
+
+                # Replay the scalar clock/stall recurrence locally: no
+                # device work can occur inside this run, so the busy
+                # horizon and the L0 stop condition are constants.
+                now = clock.now
+                busy = ssd.scalar_busy_until
+                l0_stop = len(self.version.levels[0]) >= config.l0_stop_files
+                took = 0
+                if busy <= now and not l0_stop:
+                    # Zero backlog stays zero: per-op latency is the
+                    # constant CPU cost (accumulated op by op, so float
+                    # rounding matches the scalar path).
+                    if until is None:
+                        for _ in range(cap):
+                            now += cpu
+                        took = cap
+                    else:
+                        for _ in range(cap):
+                            now += cpu
+                            took += 1
+                            if now >= until:
+                                break
+                else:
+                    stall = self.stall_seconds
+                    for _ in range(cap):
+                        backlog = busy - now
+                        if backlog < 0.0:
+                            backlog = 0.0
+                        if backlog > hard or l0_stop:
+                            penalty = max(0.0, backlog - hard)
+                            penalty += (hard - soft) * slowdown
+                        elif backlog > soft:
+                            penalty = (backlog - soft) * slowdown
+                        else:
+                            penalty = 0.0
+                        stall += penalty
+                        now += cpu + penalty
+                        took += 1
+                        if until is not None and now >= until:
+                            break
+                    self.stall_seconds = stall
+
+                first_seq = self._next_seq
+                self._next_seq = first_seq + took
+                if delete:
+                    self.memtable.bulk_delete(keys_list[done:done + took], first_seq)
+                    self._stats.deletes += took
+                else:
+                    self.memtable.bulk_put(keys_list[done:done + took], first_seq,
+                                           seeds_list[done:done + took], vlen)
+                    self._stats.puts += took
+                if self.wal is not None:
+                    self.wal.bulk_append(took, payload)
+                self._stats.user_bytes_written += took * payload
+                clock.advance_to(now)
+                done += took
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def _scalar_mode_ssd(self):
+        """The backing SSD when the scalar-timing fast path applies."""
+        ssd = self._ssd
+        if ssd is None:
+            device = self.fs.device
+            while not hasattr(device, "ssd"):
+                device = getattr(device, "parent", None)
+                if device is None:
+                    return None
+            ssd = self._ssd = device.ssd
+        if ssd.channel_timing_enabled or ssd.clock is not self.clock:
+            return None
+        return ssd
 
     def flush(self) -> None:
         """Flush the memtable and run compactions to completion."""

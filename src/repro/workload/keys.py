@@ -13,7 +13,13 @@ from repro.errors import ConfigError
 
 
 class KeyChooser:
-    """Interface: pick the next key from ``[0, nkeys)``."""
+    """Interface: pick the next key from ``[0, nkeys)``.
+
+    Contract relied on by the batched workload runner (DESIGN.md §6):
+    ``batch(n)`` consumes the RNG exactly like ``n`` successive
+    ``next_key()`` calls, so the batched and scalar drivers issue
+    bit-identical key streams for every distribution.
+    """
 
     def __init__(self, nkeys: int, rng: np.random.Generator):
         if nkeys <= 0:
@@ -53,6 +59,11 @@ class SequentialKeys(KeyChooser):
         self._next = (self._next + 1) % self.nkeys
         return key
 
+    def batch(self, count: int) -> np.ndarray:
+        out = (np.arange(count, dtype=np.int64) + self._next) % self.nkeys
+        self._next = (self._next + count) % self.nkeys
+        return out
+
 
 class ZipfianKeys(KeyChooser):
     """Zipf-distributed keys, scrambled so hot keys are spread out.
@@ -60,28 +71,58 @@ class ZipfianKeys(KeyChooser):
     Uses numpy's Zipf sampler with rejection of out-of-range ranks,
     then a multiplicative scramble so that popularity is not correlated
     with key order (YCSB's "scrambled zipfian").
+
+    Rejection sampling is only efficient in bulk, so keys are drawn a
+    ``REFILL``-sized block at a time into an internal buffer; both
+    ``next_key`` and ``batch`` consume the same buffer in order, which
+    keeps the scalar and batched drivers on one key stream (and stops
+    scalar callers from paying a full vector draw per key).
     """
+
+    #: Keys drawn per internal refill; scalar callers amortize the
+    #: vector draw over this many next_key() calls.
+    REFILL = 1024
 
     def __init__(self, nkeys: int, rng: np.random.Generator, theta: float = 1.2):
         super().__init__(nkeys, rng)
         if theta <= 1.0:
             raise ConfigError("numpy's zipf sampler requires theta > 1")
         self.theta = theta
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._pos = 0
 
     def next_key(self) -> int:
-        return int(self.batch(1)[0])
+        if self._pos >= len(self._buffer):
+            self._refill()
+        key = int(self._buffer[self._pos])
+        self._pos += 1
+        return key
 
     def batch(self, count: int) -> np.ndarray:
         out = np.empty(count, dtype=np.int64)
         filled = 0
         while filled < count:
-            draw = self.rng.zipf(self.theta, size=count - filled)
+            if self._pos >= len(self._buffer):
+                self._refill()
+            take = min(count - filled, len(self._buffer) - self._pos)
+            out[filled : filled + take] = self._buffer[self._pos : self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
+    def _refill(self) -> None:
+        """Rejection-sample one block of scrambled ranks into the buffer."""
+        out = np.empty(self.REFILL, dtype=np.int64)
+        filled = 0
+        while filled < self.REFILL:
+            draw = self.rng.zipf(self.theta, size=self.REFILL - filled)
             draw = draw[draw <= self.nkeys]
             take = len(draw)
             out[filled : filled + take] = draw - 1
             filled += take
         # Scramble rank -> key so hot keys are uniformly placed.
-        return (out * np.int64(2654435761)) % self.nkeys
+        self._buffer = (out * np.int64(2654435761)) % self.nkeys
+        self._pos = 0
 
 
 class HotspotKeys(KeyChooser):

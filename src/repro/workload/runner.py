@@ -1,10 +1,21 @@
 """Drives a key-value store with a workload on the virtual clock.
 
-The runner is the paper's single user thread (§3.2): it issues one
-operation at a time, each op advancing the virtual clock by its
-latency, and invokes a sampling callback at a fixed virtual-time
-interval so metrics become a time series (the paper's 10-minute
-averages map to our sampling windows; see DESIGN.md §2).
+The runner is the paper's single user thread (§3.2): operations are
+issued in order, each advancing the virtual clock by its latency, and
+a sampling callback fires at a fixed virtual-time interval so metrics
+become a time series (the paper's 10-minute averages map to our
+sampling windows; see DESIGN.md §2).
+
+Batched execution (DESIGN.md §6): by default keys and op types are
+drawn with one RNG call per ``CHECK_EVERY`` window and dispatched as
+runs through the engines' batch API (``put_many`` & co.).  The key and
+op-draw substreams are independent generators and numpy's bulk draws
+consume them exactly like the equivalent scalar draws, so the batched
+driver issues a bit-identical op stream, clock, and metrics to the
+seed's one-op-at-a-time loop (``batch=False``, kept as the equivalence
+oracle).  Sampling stays exact because batch calls stop at the
+``until`` boundary — right after the op that crosses it, where the
+scalar loop would have fired the callback.
 
 Multi-client workloads are driven by :class:`repro.sim.clients.
 ClientPool` on the discrete-event scheduler (DESIGN.md §4); it reuses
@@ -22,7 +33,7 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
-from repro.kv.values import value_for
+from repro.kv.values import seeds_for, value_for
 from repro.workload.keys import KeyChooser, make_chooser
 from repro.workload.spec import WorkloadSpec
 
@@ -30,7 +41,13 @@ from repro.workload.spec import WorkloadSpec
 #: How often (in completed ops) drivers re-evaluate ``stop_when``.
 #: Shared with the client pool so both drivers stop at the same op
 #: counts (part of the bit-identical seed-compatibility contract).
+#: It is also the batched driver's generation window: keys/op-draws
+#: are drawn once per window, so the stop checks land on the same op
+#: counts in both drivers.
 CHECK_EVERY = 64
+
+#: Keys ingested per batch call during the sequential load phase.
+LOAD_CHUNK = 4096
 
 
 @dataclass
@@ -42,16 +59,30 @@ class RunOutcome:
     load_seconds: float = 0.0
 
 
-def load_sequential(store: KVStore, spec: WorkloadSpec) -> RunOutcome:
-    """Ingest all keys in sequential order (the paper's load phase)."""
+def load_sequential(store: KVStore, spec: WorkloadSpec,
+                    batch: bool = True) -> RunOutcome:
+    """Ingest all keys in sequential order (the paper's load phase).
+
+    ``batch=True`` (default) ingests through the engines' ``put_many``
+    in :data:`LOAD_CHUNK` slices — bit-identical to the scalar loop,
+    which ``batch=False`` preserves as the equivalence oracle.
+    """
     outcome = RunOutcome()
     start = store_clock(store).now
     try:
-        for key in range(spec.nkeys):
-            store.put(key, value_for(key, 0, spec.value_bytes))
-            outcome.ops_issued += 1
+        if batch:
+            vlen = spec.value_bytes
+            for lo in range(0, spec.nkeys, LOAD_CHUNK):
+                keys = np.arange(lo, min(spec.nkeys, lo + LOAD_CHUNK),
+                                 dtype=np.int64)
+                outcome.ops_issued += store.put_many(keys, seeds_for(keys, 0), vlen)
+        else:
+            for key in range(spec.nkeys):
+                store.put(key, value_for(key, 0, spec.value_bytes))
+                outcome.ops_issued += 1
         store.flush()
-    except NoSpaceError:
+    except NoSpaceError as exc:
+        outcome.ops_issued += getattr(exc, "ops_done", 0)
         outcome.out_of_space = True
     outcome.load_seconds = store_clock(store).now - start
     return outcome
@@ -111,6 +142,7 @@ def run_workload(
     sample_interval: float | None = None,
     on_sample: Callable[[], None] | None = None,
     max_ops: int | None = None,
+    batch: bool = True,
 ) -> RunOutcome:
     """Run the measured phase until *stop_when* (or *max_ops*).
 
@@ -118,6 +150,9 @@ def run_workload(
     boundary.  Returns the run outcome; an out-of-space condition ends
     the run and is reported rather than raised (the paper reports
     RocksDB running out of space for large datasets, §4.4).
+
+    ``batch=False`` selects the seed's one-op-at-a-time loop; the
+    default batched driver is bit-identical to it (module docstring).
     """
     validate_sampling(sample_interval, on_sample)
     clock = store_clock(store)
@@ -128,24 +163,109 @@ def run_workload(
     version = 1
     next_sample = clock.now + sample_interval if sample_interval else None
 
+    if not batch:
+        try:
+            while True:
+                if max_ops is not None and outcome.ops_issued >= max_ops:
+                    break
+                if outcome.ops_issued % CHECK_EVERY == 0 and stop_when():
+                    break
+                version = issue_one_op(store, spec, chooser, op_rng, version)
+                outcome.ops_issued += 1
+                next_sample = _after_op_sample(clock, next_sample,
+                                               sample_interval, on_sample)
+        except NoSpaceError:
+            outcome.out_of_space = True
+        return outcome
+
+    # Batched driver: one RNG draw per window, dispatched as runs of
+    # same-type ops through the store's batch API.  The cumulative
+    # thresholds match issue_one_op's strict-< comparison chain
+    # (searchsorted side="right": kind = number of thresholds <= draw).
+    thresholds = np.array([
+        spec.read_fraction,
+        spec.read_fraction + spec.scan_fraction,
+        spec.read_fraction + spec.scan_fraction + spec.delete_fraction,
+    ])
+    vlen = spec.value_bytes
+    scan_length = spec.scan_length
     try:
         while True:
             if max_ops is not None and outcome.ops_issued >= max_ops:
                 break
             if outcome.ops_issued % CHECK_EVERY == 0 and stop_when():
                 break
-            version = issue_one_op(store, spec, chooser, op_rng, version)
-            outcome.ops_issued += 1
-            if next_sample is not None and clock.now >= next_sample:
-                on_sample()
-                next_sample += sample_interval
-                if next_sample <= clock.now:
-                    # A stall carried the clock past several boundaries;
-                    # resynchronize instead of firing empty windows.
-                    next_sample = clock.now + sample_interval
-    except NoSpaceError:
+            n = CHECK_EVERY
+            if max_ops is not None:
+                n = min(n, max_ops - outcome.ops_issued)
+            keys = chooser.batch(n)
+            draws = op_rng.random(n)
+            kinds = np.searchsorted(thresholds, draws, side="right").tolist()
+            i = 0
+            while i < n:
+                kind = kinds[i]
+                j = i + 1
+                while j < n and kinds[j] == kind:
+                    j += 1
+                if kind == 3:  # update run
+                    run_keys = keys[i:j]
+                    run_seeds = seeds_for(
+                        run_keys, np.arange(version, version + (j - i))
+                    )
+                    offset = 0
+                    while i < j:
+                        took = store.put_many(run_keys[offset:], run_seeds[offset:],
+                                              vlen, until=next_sample)
+                        version += took
+                        offset += took
+                        i += took
+                        outcome.ops_issued += took
+                        next_sample = _after_op_sample(clock, next_sample,
+                                                       sample_interval, on_sample)
+                elif kind == 0:  # read run
+                    while i < j:
+                        took = store.get_many(keys[i:j], until=next_sample)
+                        i += took
+                        outcome.ops_issued += took
+                        next_sample = _after_op_sample(clock, next_sample,
+                                                       sample_interval, on_sample)
+                elif kind == 1:  # scan run
+                    while i < j:
+                        took = store.scan_many(keys[i:j], scan_length,
+                                               until=next_sample)
+                        i += took
+                        outcome.ops_issued += took
+                        next_sample = _after_op_sample(clock, next_sample,
+                                                       sample_interval, on_sample)
+                else:  # delete run
+                    while i < j:
+                        took = store.delete_many(keys[i:j], until=next_sample)
+                        i += took
+                        outcome.ops_issued += took
+                        next_sample = _after_op_sample(clock, next_sample,
+                                                       sample_interval, on_sample)
+    except NoSpaceError as exc:
+        outcome.ops_issued += getattr(exc, "ops_done", 0)
         outcome.out_of_space = True
     return outcome
+
+
+def _after_op_sample(clock, next_sample, sample_interval, on_sample):
+    """The per-op boundary check both drivers share.
+
+    Fires ``on_sample`` when the clock reached the boundary and returns
+    the next one.  Batch calls return control right after the crossing
+    op (their ``until`` contract), so the callback observes the same
+    store state as in the scalar loop.
+    """
+    if next_sample is not None and clock.now >= next_sample:
+        on_sample()
+        next_sample += sample_interval
+        if next_sample <= clock.now:
+            # A stall carried the clock past several boundaries;
+            # resynchronize instead of firing empty windows.
+            next_sample = clock.now + sample_interval
+    return next_sample
 
 
 def store_clock(store: KVStore):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -104,6 +105,40 @@ class TestNextFitBehaviour:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ConfigError):
             ExtentAllocator(10, strategy="best-fit")
+
+
+class TestScatterPivotStream:
+    def test_inlined_choice_matches_numpy_choice(self):
+        # _scan_order hand-inlines rng.choice(count, p=w / w.sum())
+        # (same arithmetic, one random() draw).  Pin the equivalence so
+        # a numpy whose Generator.choice internals differ is caught —
+        # the extent stream, and with it every figure, depends on it.
+        rng_master = np.random.default_rng(7)
+        for _ in range(500):
+            count = int(rng_master.integers(1, 60))
+            weights = rng_master.integers(1, 5000, size=count).astype(np.float64)
+            seed = int(rng_master.integers(0, 2**32))
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(seed)
+            expected = int(a.choice(count, p=weights / weights.sum()))
+            cdf = (weights / weights.sum()).cumsum()
+            cdf /= cdf[-1]
+            pivot = int(cdf.searchsorted(b.random(), side="right"))
+            assert pivot == expected
+            assert a.random() == b.random()  # streams stay aligned
+
+    def test_length_cache_stays_in_sync(self):
+        alloc = ExtentAllocator(512, strategy="scatter", seed=1)
+        rng = np.random.default_rng(3)
+        held: list[tuple[int, int]] = []
+        for _ in range(300):
+            if held and rng.random() < 0.45:
+                start, npages = held.pop(int(rng.integers(len(held))))
+                alloc.free(start, npages)
+            elif alloc.free_pages:
+                want = int(rng.integers(1, min(32, alloc.free_pages) + 1))
+                held.extend(alloc.alloc(want))
+            alloc.check_invariants()  # asserts _len_list matches _lens
 
 
 class TestCoalescing:

@@ -1,0 +1,57 @@
+"""End-to-end batched-vs-scalar equivalence (DESIGN.md §6).
+
+The full experiment pipeline — build stack, drive-state, sequential
+load, measured phase with sampling, steady-state summary — must
+produce byte-identical results under the batched and scalar drivers
+for both engines.  This is the figure-level guarantee: every paper
+figure is derived from these records, so equality here means the
+batching layer cannot change any reported number.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import Engine, ExperimentSpec, run_experiment
+from repro.units import MIB
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("engine", [Engine.LSM, Engine.BTREE])
+def test_experiment_records_identical(engine):
+    spec = ExperimentSpec(
+        engine=engine,
+        capacity_bytes=32 * MIB,
+        duration_capacity_writes=1.2,
+        sample_interval=0.2,
+        read_fraction=0.2,
+        delete_fraction=0.05,
+    )
+    scalar = run_experiment(spec, batched=False)
+    batched = run_experiment(spec, batched=True)
+    assert canonical(scalar) == canonical(batched)
+    assert batched.ops_issued > 0
+    assert batched.samples, "the run must have produced a time series"
+
+
+def test_preconditioned_lsm_identical():
+    # Preconditioning exercises the drive-state writer plus GC-heavy
+    # steady state — the regime where stall penalties (the float
+    # recurrence the batched fast path replays) actually bite.
+    from repro.flash.state import DriveState
+
+    spec = ExperimentSpec(
+        engine=Engine.LSM,
+        capacity_bytes=32 * MIB,
+        drive_state=DriveState.PRECONDITIONED,
+        duration_capacity_writes=1.0,
+        sample_interval=0.2,
+    )
+    scalar = run_experiment(spec, batched=False)
+    batched = run_experiment(spec, batched=True)
+    assert canonical(scalar) == canonical(batched)

@@ -98,6 +98,23 @@ class TestBloom:
         bloom = BloomFilter(100, 10)
         assert not bloom.may_contain(42)
 
+    def test_scalar_probe_matches_vectorized(self):
+        # The Python-int fast path of may_contain must agree with the
+        # numpy path on every key, including negatives and the 64-bit
+        # extremes (two's-complement wrap in the mixer).
+        bloom = BloomFilter(500, 10)
+        rng = np.random.default_rng(2)
+        added = rng.integers(-(2**62), 2**62, size=500, dtype=np.int64)
+        bloom.add_many(added)
+        probes = np.concatenate([
+            added[:100],
+            rng.integers(-(2**63), 2**63 - 1, size=2000, dtype=np.int64),
+            np.array([0, -1, 2**63 - 1, -(2**63)], dtype=np.int64),
+        ])
+        vectorized = bloom.may_contain_many(probes)
+        for key, expected in zip(probes.tolist(), vectorized.tolist()):
+            assert bloom.may_contain(key) == expected
+
     def test_invalid_bits_rejected(self):
         with pytest.raises(ConfigError):
             BloomFilter(10, 0)
