@@ -6,83 +6,87 @@ bench sweeps the discrete-event client pool over queue depths
 SSD1) and reports virtual-time throughput plus per-operation latency
 percentiles per depth (DESIGN.md §4.4).
 
-Seed compatibility: the 1-client configuration is additionally run
-through the pre-subsystem inline runner and must reproduce its numbers
-*bit-exactly* — the same series `bench_fig02_steady_state.py` measures
-— so every existing figure benchmark remains valid alongside the new
-subsystem.
+Since PR 4 the sweep is one campaign grid (the ``queue-depth`` preset
+scaled to the bench's size): every cell runs through ``run_experiment``
+with ``driver="pool"``, so the depth-1 cells record per-op latencies
+too, and the rendered table is the campaign's own cross-cell report
+with its tail-latency columns.
+
+Seed compatibility: the 1-client pooled configuration must reproduce
+the pre-subsystem inline runner's numbers *bit-exactly* — the same
+series ``bench_fig02_steady_state.py`` measures — so every existing
+figure benchmark remains valid alongside the concurrency subsystem.
 """
 
 from dataclasses import replace
 
 from benchmarks.conftest import run_once
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.core.experiment import Engine, run_experiment
-from repro.core.figures import KOPS, spec_for
-from repro.core.report import render_table
+from repro.core.figures import spec_for
+from repro.core.report import render_campaign
 
 CLIENTS = (1, 4, 16, 64)
 
 
-def test_queue_depth_scaling(benchmark, scale, archive):
-    def run_all():
-        out = {}
-        for engine in (Engine.LSM, Engine.BTREE):
-            base = spec_for(scale, engine)
-            # The legacy inline-runner result: bench_fig02's numbers.
-            out[(engine.value, "inline")] = run_experiment(base)
-            for nclients in CLIENTS:
-                spec = replace(base, nclients=nclients)
-                out[(engine.value, nclients)] = run_experiment(
-                    spec, use_client_pool=True
-                )
-        return out
-
-    results = run_once(benchmark, run_all)
-
-    rows = []
-    for engine in ("lsm", "btree"):
-        for nclients in CLIENTS:
-            result = results[(engine, nclients)]
-            latencies = result.client_latencies
-            throughput = result.ops_issued / max(result.run_seconds, 1e-9)
-            rows.append([
-                engine,
-                nclients,
-                result.ops_issued,
-                f"{throughput / KOPS:.2f}",
-                f"{latencies.mean() * 1e6:.0f}",
-                f"{latencies.percentile(50) * 1e6:.0f}",
-                f"{latencies.percentile(99) * 1e6:.0f}",
-            ])
-    text = render_table(
-        ["engine", "clients", "ops", "KOps/s", "mean us", "p50 us", "p99 us"],
-        rows,
-        title="Queue-depth scaling on trimmed SSD1 (virtual time)",
+def queue_depth_campaign(scale) -> CampaignSpec:
+    """The ``queue-depth`` preset's grid at the bench's scale (one SSD)."""
+    base = replace(spec_for(scale, Engine.LSM), name="experiment",
+                   driver="pool")
+    return CampaignSpec(
+        name="queue-depth-bench",
+        base=base,
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "nclients": CLIENTS,
+        },
     )
-    archive("queue_depth_scaling", text)
 
-    for engine in ("lsm", "btree"):
-        inline = results[(engine, "inline")]
-        one_client = results[(engine, 1)]
+
+def test_queue_depth_scaling(benchmark, scale, archive):
+    campaign = queue_depth_campaign(scale)
+
+    def run_all():
+        outcome = run_campaign(campaign)
+        results = outcome.results()
+        # The legacy inline-runner result: bench_fig02's numbers.
+        inline = {
+            engine: run_experiment(spec_for(scale, engine))
+            for engine in (Engine.LSM, Engine.BTREE)
+        }
+        return outcome, results, inline
+
+    outcome, results, inline = run_once(benchmark, run_all)
+    archive("queue_depth_scaling",
+            render_campaign(outcome.records,
+                            title="Queue-depth scaling on trimmed SSD1 "
+                                  "(virtual time)"))
+
+    def throughput(engine, nclients):
+        result = results[(engine.value, nclients)]
+        return result.ops_issued / max(result.run_seconds, 1e-9)
+
+    for engine in (Engine.LSM, Engine.BTREE):
+        legacy = inline[engine]
+        one_client = results[(engine.value, 1)]
         # Seed compatibility: the degenerate one-client pool reproduces
-        # the fig02 series exactly, not approximately.
-        assert one_client.ops_issued == inline.ops_issued
-        assert one_client.run_seconds == inline.run_seconds
-        assert one_client.samples == inline.samples
+        # the fig02 series exactly, not approximately — and it records
+        # the latencies the inline runner cannot.
+        assert one_client.ops_issued == legacy.ops_issued
+        assert one_client.run_seconds == legacy.run_seconds
+        assert one_client.samples == legacy.samples
+        assert one_client.client_latencies is not None
 
         # Tail latency must grow with queue depth on both engines.
-        p99s = [results[(engine, n)].client_latencies.percentile(99)
+        p99s = [results[(engine.value, n)].client_latencies.percentile(99)
                 for n in CLIENTS]
         assert p99s[-1] > p99s[0]
 
     # The B+Tree's synchronous leaf reads exploit channel parallelism:
     # more outstanding clients -> more virtual-time throughput, until
     # the channels saturate (Roh et al.).
-    def throughput(engine, nclients):
-        result = results[(engine, nclients)]
-        return result.ops_issued / max(result.run_seconds, 1e-9)
-
-    assert throughput("btree", 16) > 1.5 * throughput("btree", 1)
+    assert throughput(Engine.BTREE, 16) > 1.5 * throughput(Engine.BTREE, 1)
     # The LSM is bound by the device's drain rate at steady state, so
     # its scaling saturates well below the client count.
-    assert throughput("lsm", 64) < 64 * throughput("lsm", 1)
+    assert throughput(Engine.LSM, 64) < 64 * throughput(Engine.LSM, 1)

@@ -1,11 +1,14 @@
 """Wall-clock throughput benchmark and perf-regression harness.
 
 ``repro bench`` measures how fast the simulator itself runs — not the
-simulated metrics, which are pinned elsewhere — on the paper's fig-2
-update workload (sequential load + uniform updates until host writes
-reach a capacity multiple, §3.2), once per engine.  Results are written
-to ``BENCH_throughput.json`` so every PR extends a recorded perf
-trajectory (DESIGN.md §6).
+simulated metrics, which are pinned elsewhere — on three cells per
+engine: the paper's fig-2 update workload (sequential load + uniform
+updates until host writes reach a capacity multiple, §3.2) on the
+inline runner, a scan-mix variant (25% reads / 25% scans) exercising
+the natively batched read/scan paths (DESIGN.md §7.3), and a 4-client
+pooled cell driving the batched event-scheduler client (DESIGN.md
+§7.2).  Results are written to ``BENCH_throughput.json`` so every PR
+extends a recorded perf trajectory (DESIGN.md §6).
 
 Three kinds of numbers are recorded per case:
 
@@ -33,27 +36,42 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import replace
 from typing import Any
 
 from repro.core.experiment import Engine, build_stack
 from repro.core.figures import SCALES, Scale, spec_for
 from repro.core.metrics import MetricsCollector
 from repro.core.report import render_table
+from repro.sim.clients import ClientPool
 from repro.workload.runner import load_sequential, run_workload
 
-SCHEMA_VERSION = 1
+#: v2 adds the scan-mix and 4-client pooled cells (DESIGN.md §7) and
+#: per-cell latency percentiles in the pooled fingerprint.
+SCHEMA_VERSION = 2
 
 #: Engines benchmarked, in report order.
 ENGINES = (Engine.LSM, Engine.BTREE)
 
+#: Concurrent clients in the pooled cell.
+POOL_CLIENTS = 4
 
-def bench_case(engine: Engine, scale: Scale, batch: bool = True) -> dict[str, Any]:
-    """Run the fig-2 update workload for one engine; returns the record.
+
+def bench_case(engine: Engine, scale: Scale, batch: bool = True,
+               workload_name: str = "update", nclients: int = 1,
+               **overrides) -> dict[str, Any]:
+    """Run one bench cell for one engine; returns the record.
 
     Mirrors :func:`repro.core.experiment.run_experiment`'s phases but
     times the load and measured phases separately with a wall clock.
+    ``nclients > 1`` drives the measured phase through the
+    :class:`~repro.sim.clients.ClientPool` (``batch`` selects its
+    batched or scalar client); the load phase is always batched — it
+    is identical under both drivers and not part of the comparison.
     """
-    spec = spec_for(scale, engine)
+    spec = spec_for(scale, engine, **overrides)
+    if nclients > 1:
+        spec = replace(spec, nclients=nclients)
     clock, ssd, _device, _partition, fs, store, iostat, _trace = build_stack(spec)
     workload = spec.workload()
     collector = MetricsCollector(
@@ -61,26 +79,55 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True) -> dict[str, An
         dataset_bytes=workload.dataset_bytes,
     )
     wall_start = time.perf_counter()
-    load = load_sequential(store, workload, batch=batch)
+    load = load_sequential(store, workload, batch=batch if nclients == 1 else True)
     wall_loaded = time.perf_counter()
     ssd.drain()
     collector.start_measurement()
     target = int(spec.duration_capacity_writes * spec.capacity_bytes)
     run_clock_start = clock.now
-    outcome = run_workload(
-        store, workload, seed=spec.seed,
-        stop_when=lambda: collector.host_bytes_written() >= target,
-        sample_interval=spec.sample_interval, on_sample=collector.sample,
-        batch=batch,
-    )
+    stop_when = lambda: collector.host_bytes_written() >= target  # noqa: E731
+    pool = None
+    if nclients > 1:
+        pool = ClientPool(
+            store, workload, nclients, seed=spec.seed, stop_when=stop_when,
+            sample_interval=spec.sample_interval, on_sample=collector.sample,
+            ssd=ssd, batch=batch,
+        )
+        outcome = pool.run()
+    else:
+        outcome = run_workload(
+            store, workload, seed=spec.seed, stop_when=stop_when,
+            sample_interval=spec.sample_interval, on_sample=collector.sample,
+            batch=batch,
+        )
     wall_done = time.perf_counter()
 
     load_wall = wall_loaded - wall_start
     run_wall = wall_done - wall_loaded
     smart = ssd.smart
     nand_pages = smart.nand_bytes_written // ssd.page_size
+    suffix = f"-pool{nclients}" if nclients > 1 else ""
+    sim = {
+        "load_ops": load.ops_issued,
+        "run_ops": outcome.ops_issued,
+        "virtual_clock_seconds": clock.now,
+        "run_virtual_seconds": clock.now - run_clock_start,
+        "host_bytes_written": smart.host_bytes_written,
+        "nand_bytes_written": smart.nand_bytes_written,
+        "host_write_requests": smart.host_write_requests,
+        "wa_d": ssd.device_write_amplification(),
+        "samples": len(collector.samples),
+        "out_of_space": outcome.out_of_space or load.out_of_space,
+    }
+    if pool is not None:
+        # Per-op latencies pin the batched pool's interleaving: any
+        # reordering of client operations would move a percentile.
+        latencies = outcome.latencies
+        sim["latency_p50"] = latencies.percentile(50)
+        sim["latency_p99"] = latencies.percentile(99)
+        sim["per_client_ops"] = list(outcome.per_client_ops)
     return {
-        "name": f"fig2-update-{engine.value}",
+        "name": f"fig2-{workload_name}{suffix}-{engine.value}",
         "engine": engine.value,
         "wall": {
             "load_seconds": load_wall,
@@ -92,25 +139,25 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True) -> dict[str, An
         },
         # Deterministic fingerprint: identical across machines and
         # across the batched/scalar drivers (the equivalence contract).
-        "sim": {
-            "load_ops": load.ops_issued,
-            "run_ops": outcome.ops_issued,
-            "virtual_clock_seconds": clock.now,
-            "run_virtual_seconds": clock.now - run_clock_start,
-            "host_bytes_written": smart.host_bytes_written,
-            "nand_bytes_written": smart.nand_bytes_written,
-            "host_write_requests": smart.host_write_requests,
-            "wa_d": ssd.device_write_amplification(),
-            "samples": len(collector.samples),
-            "out_of_space": outcome.out_of_space or load.out_of_space,
-        },
+        "sim": sim,
     }
 
 
-def run_suite(scale_name: str, repeat: int = 2) -> dict[str, Any]:
-    """Benchmark every engine at one scale; returns the suite record.
+#: The bench grid: (workload_name, nclients, spec overrides).  The
+#: scan-mix cell exercises the natively batched read/scan paths; the
+#: pooled cell exercises the batched multi-client driver.  Pooled
+#: speedups compare the measured phase only (the load is shared).
+CELLS: tuple[tuple[str, int, dict], ...] = (
+    ("update", 1, {}),
+    ("scanmix", 1, {"read_fraction": 0.25, "scan_fraction": 0.25}),
+    ("update", POOL_CLIENTS, {}),
+)
 
-    Each engine runs the batched *and* scalar drivers ``repeat`` times
+
+def run_suite(scale_name: str, repeat: int = 2) -> dict[str, Any]:
+    """Benchmark every engine and cell at one scale; returns the suite.
+
+    Each cell runs the batched *and* scalar drivers ``repeat`` times
     (best wall time wins on both sides — the usual best-of-N noise
     guard, symmetric so the speedup ratio is not biased by a single
     unlucky scalar run); the two drivers' sim fingerprints are
@@ -119,27 +166,39 @@ def run_suite(scale_name: str, repeat: int = 2) -> dict[str, Any]:
     scale = SCALES[scale_name]
     cases = []
     for engine in ENGINES:
-        best: dict[str, Any] | None = None
-        scalar: dict[str, Any] | None = None
-        for _ in range(max(1, repeat)):
-            record = bench_case(engine, scale, batch=True)
-            if best is None or (record["wall"]["total_seconds"]
-                                < best["wall"]["total_seconds"]):
-                best = record
-            record = bench_case(engine, scale, batch=False)
-            if scalar is None or (record["wall"]["total_seconds"]
-                                  < scalar["wall"]["total_seconds"]):
-                scalar = record
-        if scalar["sim"] != best["sim"]:
-            raise AssertionError(
-                f"batched and scalar drivers diverged for {engine.value}: "
-                f"{scalar['sim']} != {best['sim']}"
+        for workload_name, nclients, overrides in CELLS:
+            best: dict[str, Any] | None = None
+            scalar: dict[str, Any] | None = None
+            for _ in range(max(1, repeat)):
+                record = bench_case(engine, scale, batch=True,
+                                    workload_name=workload_name,
+                                    nclients=nclients, **overrides)
+                if best is None or (record["wall"]["total_seconds"]
+                                    < best["wall"]["total_seconds"]):
+                    best = record
+                record = bench_case(engine, scale, batch=False,
+                                    workload_name=workload_name,
+                                    nclients=nclients, **overrides)
+                if scalar is None or (record["wall"]["total_seconds"]
+                                      < scalar["wall"]["total_seconds"]):
+                    scalar = record
+            if scalar["sim"] != best["sim"]:
+                raise AssertionError(
+                    f"batched and scalar drivers diverged for {best['name']}: "
+                    f"{scalar['sim']} != {best['sim']}"
+                )
+            # Pooled cells compare the measured phase only: the load is
+            # batched on both sides, so including it would dilute the
+            # driver comparison.
+            wall_key = "run_seconds" if nclients > 1 else "total_seconds"
+            best["speedup_vs_scalar"] = (
+                scalar["wall"][wall_key] / max(best["wall"][wall_key], 1e-9)
             )
-        best["speedup_vs_scalar"] = (
-            scalar["wall"]["total_seconds"] / max(best["wall"]["total_seconds"], 1e-9)
-        )
-        best["scalar_wall_total_seconds"] = scalar["wall"]["total_seconds"]
-        cases.append(best)
+            # Both scalar figures are recorded so the committed record
+            # can reproduce the speedup from its own fields.
+            best["scalar_wall_seconds"] = scalar["wall"][wall_key]
+            best["scalar_wall_total_seconds"] = scalar["wall"]["total_seconds"]
+            cases.append(best)
     return {"scale": scale_name, "cases": cases}
 
 
@@ -153,7 +212,7 @@ def run_bench(smoke: bool = False, repeat: int = 2) -> dict[str, Any]:
     suites = {"smoke": run_suite("small", repeat=repeat)}
     if not smoke:
         suites["default"] = run_suite("default", repeat=repeat)
-    return {"schema": SCHEMA_VERSION, "workload": "fig2-update", "suites": suites}
+    return {"schema": SCHEMA_VERSION, "workload": "fig2-cells", "suites": suites}
 
 
 def check_regression(current: dict[str, Any], baseline: dict[str, Any],
@@ -223,7 +282,7 @@ def render_bench(report: dict[str, Any]) -> str:
         for case in suite["cases"]:
             wall = case["wall"]
             rows.append([
-                case["engine"],
+                case["name"],
                 f"{wall['total_seconds']:.3f}",
                 f"{wall['load_ops_per_sec']:,.0f}",
                 f"{wall['run_ops_per_sec']:,.0f}",
@@ -232,7 +291,7 @@ def render_bench(report: dict[str, Any]) -> str:
                 f"{case['sim']['wa_d']:.2f}",
             ])
         sections.append(render_table(
-            ["engine", "wall s", "load ops/s", "run ops/s",
+            ["case", "wall s", "load ops/s", "run ops/s",
              "sim pages/s", "vs scalar", "WA-D"],
             rows,
             title=f"bench[{suite_name}] {report['workload']} "

@@ -25,7 +25,7 @@ from repro.btree.pager import Pager
 from repro.core.clock import VirtualClock
 from repro.errors import NoSpaceError, StoreClosedError
 from repro.fs.filesystem import ExtentFilesystem
-from repro.kv.api import KVStore
+from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
 from repro.kv.values import Value
 
@@ -57,9 +57,19 @@ class BTreeStore(KVStore):
         self.journal_bytes = 0
         self._journal_offset = 0
         self._journal_since_checkpoint = 0
+        self._ring_run = None  # cached journal-ring device range
+        #: Last leaf a batched read/scan touched — the cross-call
+        #: descent-reuse cursor (DESIGN.md §7.3).  Always validated
+        #: against the leaf's *current* key bounds before reuse, which
+        #: also makes stale pointers safe: only empty leaves are ever
+        #: unlinked, and an empty leaf never passes the bounds test.
+        self._read_cursor: LeafNode | None = None
         if self.config.journal_enabled:
             fs.create(self.JOURNAL_FILE)
             fs.reserve(self.JOURNAL_FILE, self.config.journal_ring_bytes)
+            # The ring is pre-allocated and never extended or deleted,
+            # so its device range is fixed for the store's lifetime.
+            self._ring_run = fs.contiguous_device_range(self.JOURNAL_FILE)
         self.cache.insert(id(self._root), self._root)
 
     # ------------------------------------------------------------------
@@ -141,7 +151,8 @@ class BTreeStore(KVStore):
     # ------------------------------------------------------------------
     # Batch API (bit-identical to the scalar loop; DESIGN.md §6)
     # ------------------------------------------------------------------
-    def put_many(self, keys, vseeds, vlens, until: float | None = None) -> int:
+    def put_many(self, keys, vseeds, vlens, until: float | None = None,
+                 latencies: list | None = None) -> int:
         """Batched puts with tree-descent reuse.
 
         Operations are applied strictly in order (reordering would
@@ -151,10 +162,13 @@ class BTreeStore(KVStore):
         of a key the leaf already holds, or an append to the rightmost
         leaf — and no split can occur (a split needs the descent path).
         Journal, cache, checkpoint, and clock effects are exactly the
-        scalar ones, op by op.
+        scalar ones, op by op.  Valid in event-driven runs too: the
+        local clock mirror accumulates advances exactly like capture
+        mode's step time (DESIGN.md §7.2), and checkpoints scheduled by
+        an op interrupt the batch through the event-aware ``until``.
         """
-        if not isinstance(vlens, int) or self.clock.capturing:
-            return KVStore.put_many(self, keys, vseeds, vlens, until)
+        if not isinstance(vlens, int):
+            return KVStore.put_many(self, keys, vseeds, vlens, until, latencies)
         self._ensure_open()
         n = len(keys)
         if n == 0:
@@ -168,9 +182,8 @@ class BTreeStore(KVStore):
         entry_bytes = config.leaf_entry_bytes(vlen)
         stats = self._stats
         adjust = self.cache.adjust
-        keys_list = keys.tolist() if hasattr(keys, "tolist") else [int(k) for k in keys]
-        seeds_list = vseeds.tolist() if hasattr(vseeds, "tolist") \
-            else [int(s) for s in vseeds]
+        keys_list = as_int_list(keys)
+        seeds_list = as_int_list(vseeds)
         # Inlined journal-record accounting (see _journal): every put
         # writes one ring record, so the call overhead is hot.  When
         # the ring occupies one extent (it is pre-allocated, so this is
@@ -180,13 +193,13 @@ class BTreeStore(KVStore):
         ring = config.journal_ring_bytes
         page_size = self.fs.page_size
         fs_device = self.fs.device
-        ring_run = (self.fs.contiguous_device_range(self.JOURNAL_FILE)
-                    if journal else None)
+        ring_run = self._ring_run if journal else None
         ring_base = ring_run[0] if ring_run is not None else None
         pwrite = self.fs.pwrite
         checkpoint_interval = config.checkpoint_interval
         checkpoint_log_bytes = config.checkpoint_log_bytes
         touch = self.cache.touch
+        append = None if latencies is None else latencies.append
         leaf = None
         done = 0
         # Local mirror of the clock: the engine only advances time at
@@ -259,11 +272,135 @@ class BTreeStore(KVStore):
                 clock.advance(latency)
                 now += latency
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and now >= until:
                     break
         except NoSpaceError as exc:
             exc.ops_done = done
             raise
+        return done
+
+    def get_many(self, keys, until: float | None = None,
+                 latencies: list | None = None) -> int:
+        """Batched point lookups with cached-leaf descent reuse.
+
+        Same reuse rule as :meth:`put_many` (DESIGN.md §7.3): when the
+        previous op's leaf provably covers the key — its key range
+        brackets it, or it is the rightmost leaf and the key lies
+        beyond — the internal-node descent is skipped.  Lookups never
+        restructure the tree (checkpoints write pages back but move no
+        keys), so the cached leaf stays valid across the whole run.
+        Cache touches, faults, checkpoint triggers, and clock effects
+        are exactly the scalar ones, op by op.
+        """
+        self._ensure_open()
+        n = len(keys)
+        if n == 0:
+            return 0
+        clock = self.clock
+        config = self.config
+        cpu = config.cpu_overhead
+        key_bytes = config.key_bytes
+        stats = self._stats
+        touch = self.cache.touch
+        append = None if latencies is None else latencies.append
+        keys_list = as_int_list(keys)
+        leaf = self._read_cursor
+        done = 0
+        try:
+            for i in range(n):
+                key = keys_list[i]
+                latency = cpu
+                reuse = False
+                if leaf is not None and (lkeys := leaf.keys):
+                    if lkeys[0] <= key <= lkeys[-1]:
+                        reuse = True
+                    elif leaf.next_leaf is None and key > lkeys[-1]:
+                        reuse = True
+                if not reuse:
+                    leaf, _path = self._descend(key)
+                if not touch(id(leaf)):
+                    latency += self._fault_leaf(leaf)
+                idx = leaf.find(key)
+                if idx >= 0:
+                    stats.user_bytes_read += key_bytes + leaf.vlens[idx]
+                stats.gets += 1
+                self._maybe_checkpoint()
+                clock.advance(latency)
+                done += 1
+                if append is not None:
+                    append(latency)
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        finally:
+            self._read_cursor = leaf
+        return done
+
+    def scan_many(self, start_keys, count: int, until: float | None = None,
+                  latencies: list | None = None) -> int:
+        """Batched range scans with cached-leaf descent reuse.
+
+        The leaf a scan ends on seeds the next scan's start-leaf
+        lookup: when it covers the next start key the descent is
+        skipped (scans often revisit a neighbourhood, and the
+        rightmost leaf absorbs every past-the-end start key).  The
+        walk itself — residency faults, per-entry accounting, the
+        leaf-chain traversal — is the scalar :meth:`scan` loop op for
+        op.
+        """
+        self._ensure_open()
+        n = len(start_keys)
+        if n == 0:
+            return 0
+        clock = self.clock
+        config = self.config
+        cpu = config.cpu_overhead
+        key_bytes = config.key_bytes
+        stats = self._stats
+        append = None if latencies is None else latencies.append
+        keys_list = as_int_list(start_keys)
+        cached = self._read_cursor
+        done = 0
+        try:
+            for i in range(n):
+                start_key = keys_list[i]
+                latency = cpu
+                reuse = False
+                if cached is not None and (ckeys := cached.keys):
+                    if ckeys[0] <= start_key <= ckeys[-1]:
+                        reuse = True
+                    elif cached.next_leaf is None and start_key > ckeys[-1]:
+                        reuse = True
+                leaf = cached if reuse else self._descend(start_key)[0]
+                cached = leaf
+                nresults = 0
+                while leaf is not None and nresults < count:
+                    latency += self._make_resident(leaf)
+                    cached = leaf
+                    for idx, key in enumerate(leaf.keys):
+                        if key < start_key:
+                            continue
+                        nresults += 1
+                        stats.user_bytes_read += key_bytes + leaf.vlens[idx]
+                        if nresults >= count:
+                            break
+                    leaf = leaf.next_leaf
+                stats.scans += 1
+                clock.advance(latency)
+                done += 1
+                if append is not None:
+                    append(latency)
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        finally:
+            self._read_cursor = cached
         return done
 
     def flush(self) -> None:

@@ -175,4 +175,23 @@ PRESETS: dict[str, CampaignSpec] = {
             "dataset_fraction": (0.3, 0.45),
         },
     ),
+    #: The queue-depth sweep (ROADMAP): throughput and tail latency vs
+    #: concurrent clients, per engine and SSD class.  Every cell runs
+    #: on the client pool (``driver="pool"``) so the depth-1 cells
+    #: record per-op latencies too — the pool at one client is
+    #: bit-identical to the inline runner (DESIGN.md §7).
+    "queue-depth": CampaignSpec(
+        name="queue-depth",
+        base=ExperimentSpec(
+            capacity_bytes=32 * MIB,
+            duration_capacity_writes=3.0,
+            sample_interval=0.2,
+            driver="pool",
+        ),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "ssd": ("ssd1", "ssd2", "ssd3"),
+            "nclients": (1, 4, 16, 64),
+        },
+    ),
 }

@@ -74,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--clients", type=int, default=1,
                      help="concurrent clients; >1 runs on the event-driven "
                           "scheduler with channel-parallel device timing")
+    run.add_argument("--driver", choices=["auto", "inline", "pool"],
+                     default="auto",
+                     help="measured-phase driver; 'pool' forces the client "
+                          "pool even at one client (bit-identical to inline, "
+                          "and it records per-op latencies)")
     run.set_defaults(func=_cmd_run)
 
     campaign = sub.add_parser(
@@ -83,10 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Expand a preset grid into cells, audit it against the seven "
             "pitfalls, run the cells (in parallel with --workers), and "
             "persist one JSONL record per completed cell.  --resume skips "
-            "cells already recorded in the output file."
+            "cells already recorded in the output file.  --render re-renders "
+            "a finished JSONL file without running anything."
         ),
     )
-    campaign.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    campaign.add_argument("--preset", choices=sorted(PRESETS), default=None)
     campaign.add_argument("--workers", type=int, default=1,
                           help="worker processes (cells are independent "
                                "simulations; default 1 = in-process)")
@@ -96,6 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="skip cells already recorded in --out")
     campaign.add_argument("--dry-run", action="store_true",
                           help="print the grid and pitfall audit, run nothing")
+    campaign.add_argument("--render", metavar="JSONL", default=None,
+                          help="render the consolidated table from a finished "
+                               "campaign file, running nothing")
     campaign.set_defaults(func=_cmd_campaign)
 
     bench = sub.add_parser(
@@ -160,6 +169,7 @@ def _cmd_run(args) -> int:
         duration_capacity_writes=args.duration,
         seed=args.seed,
         nclients=args.clients,
+        driver=args.driver,
     )
     result = run_experiment(spec)
     rows = [
@@ -199,6 +209,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.render is not None:
+        from repro.campaign.store import CampaignStore
+
+        store = CampaignStore(args.render)
+        records = list(store.load().values())  # file (= completion) order
+        if not records:
+            print(f"no completed cells in {args.render}")
+            return 1
+        names = {record.get("campaign", "?") for record in records}
+        print(render_campaign(
+            records,
+            title=f"campaign {'/'.join(sorted(names))!s} "
+                  f"({len(records)} cells, from {args.render})",
+        ))
+        return 0
+    if args.preset is None:
+        print("error: --preset is required (or pass --render FILE)")
+        return 2
     campaign = PRESETS[args.preset]
     cells = campaign.cells()
     print(f"campaign {campaign.name!r}: {len(cells)} cells over "

@@ -7,13 +7,21 @@ work merely extends the device's busy horizon beyond the current time.
 
 The discrete-event subsystem (DESIGN.md §4) generalizes this without
 changing the inline semantics: while a scheduler runs an event the
-clock is in *capture* mode — ``advance`` accumulates a step-local
-offset instead of moving global time, so a key-value operation executed
-inside one client's event observes a locally consistent ``now`` while
-events of other clients remain pending at earlier global times.  The
-scheduler turns the captured offset into the completion time of the
-step's follow-up event.  Outside of capture mode (the seed's inline
-path) the offset is permanently zero and behaviour is unchanged.
+clock is in *capture* mode — ``advance`` moves a step-local time
+instead of global time, so a key-value operation executed inside one
+client's event observes a locally consistent ``now`` while events of
+other clients remain pending at earlier global times.  The scheduler
+turns the captured step time into the completion time of the step's
+follow-up event.  Outside of capture mode (the seed's inline path)
+the step time tracks global time and behaviour is unchanged.
+
+The step-local time is an *absolute* float that accumulates advances
+exactly like the inline path accumulates them into global time
+(``t += dt`` per advance, never ``t + (dt1 + dt2)``), so a sequence of
+operations executed inside one event step produces bit-identical
+timestamps to the same sequence executed inline — the arithmetic
+foundation of the batched client pool's equivalence contract
+(DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -28,21 +36,22 @@ class VirtualClock:
         if start < 0:
             raise ConfigError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
-        self._offset = 0.0  # step-local latency accumulated in capture mode
+        self._step_now = self._now  # absolute step-local time in capture mode
         self._capturing = False
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now + self._offset
+        return self._step_now if self._capturing else self._now
 
     @property
     def capturing(self) -> bool:
         """Whether an event step is capturing advances (DESIGN.md §4).
 
-        Engine batch fast paths check this: they buffer time locally
-        and re-sync through :meth:`advance_to`, which is only exact
-        outside capture mode.
+        The engines' batched *write* fast paths check this: they
+        replay the scalar stall recurrence against the scalar device
+        model, which only applies outside event-driven runs.  Read and
+        scan batches work in both modes (DESIGN.md §7).
         """
         return self._capturing
 
@@ -51,7 +60,7 @@ class VirtualClock:
         if dt < 0:
             raise ConfigError(f"cannot advance clock by negative dt {dt!r}")
         if self._capturing:
-            self._offset += dt
+            self._step_now += dt
         else:
             self._now += dt
         return self.now
@@ -60,7 +69,7 @@ class VirtualClock:
         """Advance the clock to absolute time *t* (no-op if in the past)."""
         if t > self.now:
             if self._capturing:
-                self._offset = t - self._now
+                self._step_now = t
             else:
                 self._now = t
         return self.now
@@ -73,21 +82,25 @@ class VirtualClock:
 
         Global time jumps to *t* (events are popped in time order, so
         this never moves backwards); subsequent ``advance`` calls
-        accumulate into the step-local offset.
+        accumulate into the step-local time.
+
+        NOTE: ``Scheduler.step`` inlines this method and
+        :meth:`end_step` (its per-event hot path) — a change to the
+        capture representation here must be mirrored there.
         """
         if self._capturing:
             raise ConfigError("clock is already capturing an event step")
         if t > self._now:
             self._now = t
-        self._offset = 0.0
+        self._step_now = self._now
         self._capturing = True
 
     def end_step(self) -> float:
         """Leave capture mode; returns the offset the step accumulated."""
         if not self._capturing:
             raise ConfigError("end_step without a matching begin_step")
-        offset = self._offset
-        self._offset = 0.0
+        offset = self._step_now - self._now
+        self._step_now = self._now
         self._capturing = False
         return offset
 

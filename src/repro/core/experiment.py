@@ -74,6 +74,13 @@ class ExperimentSpec:
     duration_capacity_writes: float = 3.5  # stop after host writes >= x*capacity
     max_ops: int | None = None
     nclients: int = 1  # concurrent clients; >1 uses the event-driven pool
+    #: Which measured-phase driver to use: "auto" picks the inline
+    #: runner at one client and the event-driven ClientPool otherwise;
+    #: "pool" forces the pool even at one client (bit-identical to
+    #: inline, DESIGN.md §7 — and it records per-op latencies, which
+    #: the queue-depth campaign needs at depth 1); "inline" forces the
+    #: single-client runner.
+    driver: str = "auto"
     sample_interval: float = 0.25
     seed: int = rng_mod.DEFAULT_SEED
     fs_strategy: str = "scatter"
@@ -110,6 +117,13 @@ class ExperimentSpec:
             raise ConfigError("sample_interval must be positive")
         if self.nclients < 1:
             raise ConfigError("nclients must be >= 1")
+        if self.driver not in ("auto", "inline", "pool"):
+            raise ConfigError(
+                f"unknown driver {self.driver!r}; expected auto, inline or pool"
+            )
+        if self.driver == "inline" and self.nclients > 1:
+            raise ConfigError("the inline driver is single-client; "
+                              "use driver='auto' or 'pool' with nclients > 1")
 
     @property
     def nkeys(self) -> int:
@@ -217,6 +231,11 @@ class ExperimentResult:
                 if self.client_latencies is not None and self.client_latencies.count()
                 else None
             ),
+            "latency": (
+                self.client_latencies.pooled_summary()
+                if self.client_latencies is not None and self.client_latencies.count()
+                else None
+            ),
             "per_client_ops": self.per_client_ops,
             "kv_ops": dict(self.kv_ops),
         }
@@ -261,16 +280,16 @@ def run_experiment(spec: ExperimentSpec,
     """Run one full experiment and return its results.
 
     ``use_client_pool`` overrides the driver choice: by default the
-    measured phase uses the seed's inline runner for ``nclients == 1``
-    and the event-driven :class:`~repro.sim.clients.ClientPool`
-    otherwise.  Forcing the pool at one client is the degenerate case
-    used by seed-compatibility tests — it must produce bit-identical
-    results.
+    measured phase follows ``spec.driver`` — the seed's inline runner
+    for ``nclients == 1`` and the event-driven :class:`~repro.sim.
+    clients.ClientPool` otherwise (``driver="pool"`` forces the pool
+    even at one client, which is bit-identical to the inline runner
+    and additionally records per-op latencies).
 
-    ``batched=False`` forces the scalar (one-op-at-a-time) load and
-    runner loops; the default batched path is bit-identical to them
-    (DESIGN.md §6), so this switch exists for equivalence tests and
-    the perf-regression harness.
+    ``batched=False`` forces the scalar (one-op-at-a-time) load,
+    runner, and pool-client loops; the default batched paths are
+    bit-identical to them (DESIGN.md §6, §7), so this switch exists
+    for equivalence tests and the perf-regression harness.
     """
     clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
     workload = spec.workload()
@@ -288,7 +307,7 @@ def run_experiment(spec: ExperimentSpec,
     peak_util = fs.utilization()
 
     if use_client_pool is None:
-        use_client_pool = spec.nclients > 1
+        use_client_pool = spec.nclients > 1 or spec.driver == "pool"
     target_bytes = int(spec.duration_capacity_writes * spec.capacity_bytes)
     run_start = clock.now
     outcome = load
@@ -305,6 +324,7 @@ def run_experiment(spec: ExperimentSpec,
                 on_sample=collector.sample,
                 max_ops=spec.max_ops,
                 ssd=ssd,
+                batch=batched,
             )
             outcome = pool.run()
         else:

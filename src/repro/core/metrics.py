@@ -55,6 +55,15 @@ class ClientLatencies:
         """Record one completed operation's latency for *client*."""
         self._series[client].append(latency)
 
+    def sink(self, client: int) -> list[float]:
+        """The mutable latency list for *client*.
+
+        Batch drivers hand this directly to the KVStore batch methods'
+        ``latencies`` parameter, so per-op latencies land here without
+        a per-op Python call (DESIGN.md §7).
+        """
+        return self._series[client]
+
     def count(self, client: int | None = None) -> int:
         """Operations recorded for one client (or the whole pool)."""
         if client is not None:
@@ -82,6 +91,25 @@ class ClientLatencies:
         """Mean latency, pooled or for one client."""
         data = self.pooled() if client is None else self.series(client)
         return float(data.mean()) if data.size else 0.0
+
+    def pooled_summary(self) -> dict[str, float]:
+        """{ops, mean, p50, p95, p99} over all clients' ops together.
+
+        This is the campaign table's tail-latency row source: pooled
+        percentiles cannot be derived from the per-client rows of
+        :meth:`summary`, so they are summarized here before a result
+        is serialized.
+        """
+        data = self.pooled()
+        if not data.size:
+            return {"ops": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "ops": int(data.size),
+            "mean": float(data.mean()),
+            "p50": float(np.percentile(data, 50)),
+            "p95": float(np.percentile(data, 95)),
+            "p99": float(np.percentile(data, 99)),
+        }
 
     def summary(self) -> list[dict[str, float]]:
         """Per-client {ops, mean, p50, p95, p99} rows (seconds)."""

@@ -45,7 +45,11 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
 
     Takes the serialized records (as stored/loaded by
     :class:`repro.campaign.store.CampaignStore`), so a finished
-    campaign file can be re-rendered without re-running anything.
+    campaign file can be re-rendered without re-running anything
+    (``repro campaign --render``).  Tail-latency columns (pooled p95 /
+    p99 across clients, in microseconds) are filled for pool-driven
+    cells; the inline runner records no per-op latencies, so its cells
+    show ``-``.
     """
     rows = []
     for record in records:
@@ -61,14 +65,20 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
                 f"{steady['wa_d']:.2f}",
                 f"{steady['space_amp']:.2f}",
             ]
+        latency = record.get("latency")
+        if latency is None:
+            tail = ["-", "-"]
+        else:
+            tail = [f"{latency['p95'] * 1e6:.0f}", f"{latency['p99'] * 1e6:.0f}"]
         rows.append([
             spec["engine"], spec["ssd"], spec["drive_state"],
             f"{spec['dataset_fraction']:g}", f"{spec['op_reserved_fraction']:g}",
-            *perf, status, record["cell"],
+            str(spec.get("nclients", 1)),
+            *perf, *tail, status, record["cell"],
         ])
     return render_table(
-        ["engine", "SSD", "state", "data/cap", "OP", "KOps/s",
-         "WA-A", "WA-D", "space amp", "status", "cell"],
+        ["engine", "SSD", "state", "data/cap", "OP", "clients", "KOps/s",
+         "WA-A", "WA-D", "space amp", "p95 us", "p99 us", "status", "cell"],
         rows, title=title,
     )
 

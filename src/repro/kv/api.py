@@ -18,6 +18,22 @@ from repro.kv.stats import KVStats
 from repro.kv.values import Value
 
 
+def as_int_list(values: Sequence[int]) -> list[int]:
+    """A key/seed sequence as a plain list of python ints.
+
+    The engines' batch fast paths index their inputs one op at a time,
+    where numpy scalar extraction costs more than the loop body; the
+    batched drivers therefore pass plain lists through unchanged, numpy
+    arrays convert via ``tolist``, and anything else is materialized
+    element-wise.  Called once per batch call, never per op.
+    """
+    if type(values) is list:
+        return values
+    if hasattr(values, "tolist"):
+        return values.tolist()
+    return [int(value) for value in values]
+
+
 class KVStore(ABC):
     """Abstract persistent key-value store.
 
@@ -34,15 +50,27 @@ class KVStore(ABC):
     store state — to the equivalent sequence of scalar calls.  The
     default implementations below guarantee that by construction;
     engines override them with natively batched hot paths whose
-    equivalence is pinned by tests.  Two further conventions let the
-    batched workload runner drive these methods without losing the
-    scalar driver's semantics:
+    equivalence is pinned by tests.  Three further conventions let the
+    batched workload drivers use these methods without losing the
+    scalar drivers' semantics:
 
     * ``until``: stop after the first operation that carries the clock
-      to or past this virtual time and return the count performed, so
-      sampling callbacks fire at exactly the scalar op boundaries;
+      to or past this bound and return the count performed, so
+      sampling callbacks fire at exactly the scalar op boundaries.
+      The bound is checked strictly as ``clock.now >= until`` *after*
+      each op — never cached, subtracted, or reordered — because it
+      may be a live proxy rather than a float: the batched client pool
+      passes :class:`repro.workload.plan.EventAwareUntil`, which
+      consults the event scheduler on every comparison (DESIGN.md §7);
+    * ``latencies``: when a list is passed, each completed operation
+      appends its user-visible latency — the same float the scalar
+      call would return — before the ``until`` check, so a batch cut
+      short (or aborted by out-of-space) has appended exactly the
+      completed ops;
     * on out-of-space, the raised :class:`NoSpaceError` carries the
-      number of completed operations in ``ops_done``.
+      number of completed operations in ``ops_done`` (the in-flight
+      op is not counted, matching the scalar loop that would have
+      counted only completed calls).
     """
 
     name: str = "abstract"
@@ -67,7 +95,8 @@ class KVStore(ABC):
     # Batch API (see class docstring for the contract)
     # ------------------------------------------------------------------
     def put_many(self, keys: Sequence[int], vseeds: Sequence[int],
-                 vlens: int | Sequence[int], until: float | None = None) -> int:
+                 vlens: int | Sequence[int], until: float | None = None,
+                 latencies: list | None = None) -> int:
         """Insert/update a batch; returns the operations performed.
 
         ``keys`` and ``vseeds`` are parallel sequences (numpy arrays on
@@ -77,11 +106,14 @@ class KVStore(ABC):
         clock = self.clock
         done = 0
         scalar_vlen = isinstance(vlens, int)
+        append = None if latencies is None else latencies.append
         try:
             for i in range(len(keys)):
                 vlen = vlens if scalar_vlen else int(vlens[i])
-                self.put(int(keys[i]), Value(int(vseeds[i]), vlen))
+                latency = self.put(int(keys[i]), Value(int(vseeds[i]), vlen))
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and clock.now >= until:
                     break
         except NoSpaceError as exc:
@@ -89,7 +121,8 @@ class KVStore(ABC):
             raise
         return done
 
-    def get_many(self, keys: Sequence[int], until: float | None = None) -> int:
+    def get_many(self, keys: Sequence[int], until: float | None = None,
+                 latencies: list | None = None) -> int:
         """Look up a batch of keys; returns the operations performed.
 
         Lookups are issued for their timing/accounting side effects
@@ -98,10 +131,13 @@ class KVStore(ABC):
         """
         clock = self.clock
         done = 0
+        append = None if latencies is None else latencies.append
         try:
             for i in range(len(keys)):
-                self.get(int(keys[i]))
+                latency, _value = self.get(int(keys[i]))
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and clock.now >= until:
                     break
         except NoSpaceError as exc:
@@ -109,14 +145,18 @@ class KVStore(ABC):
             raise
         return done
 
-    def delete_many(self, keys: Sequence[int], until: float | None = None) -> int:
+    def delete_many(self, keys: Sequence[int], until: float | None = None,
+                    latencies: list | None = None) -> int:
         """Delete a batch of keys; returns the operations performed."""
         clock = self.clock
         done = 0
+        append = None if latencies is None else latencies.append
         try:
             for i in range(len(keys)):
-                self.delete(int(keys[i]))
+                latency = self.delete(int(keys[i]))
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and clock.now >= until:
                     break
         except NoSpaceError as exc:
@@ -125,14 +165,18 @@ class KVStore(ABC):
         return done
 
     def scan_many(self, start_keys: Sequence[int], count: int,
-                  until: float | None = None) -> int:
+                  until: float | None = None,
+                  latencies: list | None = None) -> int:
         """Issue a batch of scans; returns the operations performed."""
         clock = self.clock
         done = 0
+        append = None if latencies is None else latencies.append
         try:
             for i in range(len(start_keys)):
-                self.scan(int(start_keys[i]), count)
+                latency, _pairs = self.scan(int(start_keys[i]), count)
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and clock.now >= until:
                     break
         except NoSpaceError as exc:

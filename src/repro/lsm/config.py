@@ -57,6 +57,14 @@ class LSMConfig:
     max_immutable_memtables: int = 2
 
     def __post_init__(self) -> None:
+        if self.key_bytes <= 0:
+            # Also load-bearing for the batched scan path: every
+            # memtable mutation must grow approximate_bytes by at
+            # least key_bytes, which is what validates the memoized
+            # sorted_items() snapshot (DESIGN.md §7.3).
+            raise ConfigError("key_bytes must be positive")
+        if self.entry_overhead < 0:
+            raise ConfigError("entry_overhead cannot be negative")
         if self.memtable_bytes <= 0:
             raise ConfigError("memtable_bytes must be positive")
         if self.l0_compaction_trigger < 1:

@@ -26,6 +26,7 @@ class MemTable:
         # with upserts would.
         self._entries: dict[int, tuple[int, int, int, int]] = {}
         self.approximate_bytes = 0
+        self._sorted_cache: tuple | None = None  # see sorted_items()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -109,3 +110,26 @@ class MemTable:
         selected = [(k, v) for k, v in self._entries.items() if k >= start_key]
         selected.sort(key=lambda kv: kv[0])
         return selected
+
+    def sorted_items(self) -> tuple[list[int], list[tuple[int, int, int, int]]]:
+        """All entries as parallel (keys, entries) lists, key-ordered.
+
+        The batched scan path uses this as a bisectable cursor shared
+        by consecutive scans, instead of re-sorting a
+        :meth:`range_items` selection per scan (DESIGN.md §7.3).  The
+        snapshot is memoized on the memtable and validated against
+        ``approximate_bytes``, which grows on *every* mutation: puts
+        and tombstones both add at least ``key_bytes``, which
+        :class:`~repro.lsm.config.LSMConfig` validates as positive.
+        So scans reuse one sort until the next write, and immutable
+        memtables reuse it forever.  Keys are unique, so sorting the
+        item pairs orders exactly like sorting by key.
+        """
+        cache = self._sorted_cache
+        if cache is not None and cache[0] == self.approximate_bytes:
+            return cache[1], cache[2]
+        items = sorted(self._entries.items())
+        keys = [k for k, _v in items]
+        values = [v for _k, v in items]
+        self._sorted_cache = (self.approximate_bytes, keys, values)
+        return keys, values

@@ -97,6 +97,21 @@ class SSTable:
             return True  # no filter: every in-range probe pays a read
         return self.bloom.may_contain(key)
 
+    def may_contain_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`may_contain`: identical verdict per key.
+
+        Bloom probes cost no simulated I/O, so the LSM's batched read
+        path computes them in bulk up front (DESIGN.md §7.3); only
+        keys inside the table's range touch the filter.
+        """
+        in_range = (keys >= self.min_key) & (keys <= self.max_key)
+        if not self._bloom_enabled or not in_range.any():
+            return in_range
+        result = np.zeros(len(keys), dtype=bool)
+        sel = np.nonzero(in_range)[0]
+        result[sel] = self.bloom.may_contain_many(keys[sel])
+        return result
+
     def find(self, key: int) -> int:
         """Index of *key* in the table, or -1."""
         idx = int(np.searchsorted(self.keys, key))

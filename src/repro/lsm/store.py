@@ -28,13 +28,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_left
 
 import numpy as np
 
 from repro.core.clock import VirtualClock
 from repro.errors import NoSpaceError, StoreClosedError
 from repro.fs.filesystem import ExtentFilesystem
-from repro.kv.api import KVStore
+from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
 from repro.kv.values import Value
 from repro.lsm.compaction import CompactionExecutor, CompactionPicker
@@ -72,7 +73,8 @@ class LSMStore(KVStore):
         self.scheduler = None  # event-driven background work when attached
         self._bg_worker = None  # FIFO background-thread resource
         self.inline_takeovers = 0  # write-path flushes forced by pile-up
-        self._ssd = None  # cached device resolution for the batch fast path
+        self._replay_ssd = None  # memoized device resolution (False = n/a)
+        self._write_consts = None  # cached config constants (frozen config)
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -162,7 +164,14 @@ class LSMStore(KVStore):
     # ------------------------------------------------------------------
     # Batch API (bit-identical to the scalar loops; DESIGN.md §6)
     # ------------------------------------------------------------------
-    def put_many(self, keys, vseeds, vlens, until: float | None = None) -> int:
+    #: Read batches at least this large pre-resolve their table
+    #: candidates with vectorized bloom/manifest probes; smaller runs
+    #: (the norm for mixed workloads, where same-kind runs are short)
+    #: probe per key — numpy setup would cost more than it saves.
+    BULK_PROBE_MIN = 8
+
+    def put_many(self, keys, vseeds, vlens, until: float | None = None,
+                 latencies: list | None = None) -> int:
         """Batched puts: bulk memtable upsert + batched WAL accounting.
 
         Between device events (WAL write-outs, memtable rotations) a
@@ -173,15 +182,27 @@ class LSMStore(KVStore):
         through the scalar :meth:`put` itself.
         """
         if not isinstance(vlens, int):
-            return KVStore.put_many(self, keys, vseeds, vlens, until)
-        return self._write_many(keys, vseeds, vlens, until, delete=False)
+            return KVStore.put_many(self, keys, vseeds, vlens, until, latencies)
+        return self._write_many(keys, vseeds, vlens, until, latencies,
+                                delete=False)
 
-    def delete_many(self, keys, until: float | None = None) -> int:
+    def delete_many(self, keys, until: float | None = None,
+                    latencies: list | None = None) -> int:
         """Batched tombstones (see :meth:`put_many`)."""
-        return self._write_many(keys, None, 0, until, delete=True)
+        return self._write_many(keys, None, 0, until, latencies, delete=True)
 
-    def get_many(self, keys, until: float | None = None) -> int:
-        """Batched point lookups with a memtable-hit fast path."""
+    def get_many(self, keys, until: float | None = None,
+                 latencies: list | None = None) -> int:
+        """Batched point lookups (DESIGN.md §7.3).
+
+        The run shares one snapshot of the read structure — lookups
+        never mutate the tree, so the memtable references and the
+        manifest are loop invariants — and large runs bulk-probe the
+        bloom filters and the sorted levels' manifest up front
+        (filters are memory-resident: probing costs no simulated I/O).
+        Data-block reads still happen op by op in stream order with
+        the scalar path's exact latency arithmetic.
+        """
         self._ensure_open()
         n = len(keys)
         if n == 0:
@@ -190,23 +211,78 @@ class LSMStore(KVStore):
         cpu = self.config.cpu_overhead
         key_bytes = self.config.key_bytes
         stats = self._stats
+        append = None if latencies is None else latencies.append
+        keys_list = as_int_list(keys)
         memtable_get = self.memtable.get
+        find = self._find
+        # Bulk pre-planning pays off only when the batch is expected to
+        # run to completion: a float `until` is a sampling boundary
+        # (rarely crossed mid-run), but a live event-aware bound stops
+        # deep-pool batches after an op or two, and pre-probing the
+        # remainder on every re-issued call would be quadratic — those
+        # calls resolve lazily through the scalar probe path instead.
+        bulk = n >= self.BULK_PROBE_MIN and (until is None
+                                             or type(until) is float)
+        plans = None
+        resolved: list = []
+        if bulk:
+            immutables = [memtable
+                          for memtable, _wal in reversed(self._immutables)]
+            resolved = [None] * n
+            miss_idx: list[int] = []
+            for i, key in enumerate(keys_list):
+                entry = memtable_get(key)
+                if entry is None:
+                    for memtable in immutables:
+                        entry = memtable.get(key)
+                        if entry is not None:
+                            break
+                if entry is not None:
+                    resolved[i] = entry
+                else:
+                    miss_idx.append(i)
+            plans = self._plan_table_probes(keys_list, miss_idx)
         done = 0
         try:
             for i in range(n):
-                key = int(keys[i])
-                entry = memtable_get(key)
-                if entry is not None:
-                    # Memtable hit: no device work, constant CPU cost.
-                    _seq, _vseed, vlen, kind = entry
-                    stats.gets += 1
-                    if kind == KIND_PUT:
-                        stats.user_bytes_read += key_bytes + vlen
-                    clock.advance(cpu)
+                key = keys_list[i]
+                read_latency = 0.0
+                if plans is not None:
+                    entry = resolved[i]
+                    if entry is not None:
+                        _seq, _vseed, vlen, kind = entry
+                        if kind == KIND_PUT:
+                            stats.user_bytes_read += key_bytes + vlen
+                    else:
+                        for table in plans[i]:
+                            idx = table.find(key)
+                            read_latency += self._charge_block_read(
+                                table, max(idx, 0))
+                            if idx >= 0:
+                                if int(table.kinds[idx]) == KIND_PUT:
+                                    stats.user_bytes_read += \
+                                        key_bytes + int(table.vlens[idx])
+                                break
                 else:
-                    self.get(key)
-                    memtable_get = self.memtable.get  # may have rotated
+                    entry = memtable_get(key)
+                    if entry is not None:
+                        # Memtable hit: no device work, constant CPU.
+                        _seq, _vseed, vlen, kind = entry
+                        if kind == KIND_PUT:
+                            stats.user_bytes_read += key_bytes + vlen
+                    else:
+                        found = find(key)
+                        if found is not None:
+                            read_latency, value = found
+                            if value is not None:
+                                stats.user_bytes_read += \
+                                    key_bytes + value.length
+                latency = cpu + read_latency
+                stats.gets += 1
+                clock.advance(latency)
                 done += 1
+                if append is not None:
+                    append(latency)
                 if until is not None and clock.now >= until:
                     break
         except NoSpaceError as exc:
@@ -214,64 +290,268 @@ class LSMStore(KVStore):
             raise
         return done
 
-    def _write_many(self, keys, vseeds, vlen: int, until: float | None,
-                    delete: bool) -> int:
-        """Shared batched write path for puts and deletes."""
+    def _plan_table_probes(self, keys_list: list[int],
+                           miss_idx: list[int]) -> dict[int, list]:
+        """Per-op candidate tables for keys missing every memtable.
+
+        The candidate list is exactly the tables the scalar
+        :meth:`_find` would probe (L0 in order, then one table per
+        sorted level) filtered by the same bloom/range verdicts; the
+        replay loop stops at the first hit, so later candidates whose
+        probes were precomputed simply go unused — bloom verdicts have
+        no simulated cost either way.
+        """
+        plans: dict[int, list] = {i: [] for i in miss_idx}
+        if not miss_idx:
+            return plans
+        levels = self.version.levels
+        miss_keys = np.fromiter((keys_list[i] for i in miss_idx),
+                                dtype=np.int64, count=len(miss_idx))
+        for table in levels[0]:
+            for j in np.nonzero(table.may_contain_many(miss_keys))[0].tolist():
+                plans[miss_idx[j]].append(table)
+        for level in range(1, self.config.num_levels):
+            if not levels[level]:
+                continue
+            assigned = self.version.find_tables(level, miss_keys)
+            by_table: dict[int, tuple] = {}
+            for j, table in enumerate(assigned):
+                if table is not None:
+                    by_table.setdefault(id(table), (table, []))[1].append(j)
+            for table, js in by_table.values():
+                sel = np.fromiter((int(miss_keys[j]) for j in js),
+                                  dtype=np.int64, count=len(js))
+                for j, ok in zip(js, table.may_contain_many(sel).tolist()):
+                    if ok:
+                        plans[miss_idx[j]].append(table)
+        return plans
+
+    def scan_many(self, start_keys, count: int, until: float | None = None,
+                  latencies: list | None = None) -> int:
+        """Batched range scans with cursor reuse (DESIGN.md §7.3).
+
+        Scans never mutate the tree, so one ``scan_many`` call shares
+        a single snapshot of the scan sources across all its scans:
+        the memtables' key-ordered entry lists (built once, bisected
+        per scan — the scalar path re-sorts a selection per scan) and
+        the manifest's table list.  Each scan then replays the scalar
+        merge exactly: same heap order, same per-source one-ahead
+        pulls, same per-table consumed windows, same sequential reads
+        charged in the same order.
+        """
         self._ensure_open()
+        n = len(start_keys)
+        if n == 0:
+            return 0
+        clock = self.clock
+        cpu = self.config.cpu_overhead
+        stats = self._stats
+        append = None if latencies is None else latencies.append
+        keys_list = as_int_list(start_keys)
+        snapshots = [self.memtable.sorted_items()]
+        for memtable, _wal in self._immutables:
+            snapshots.append(memtable.sorted_items())
+        tables = [table for _level, table in self.version.all_tables()]
+        done = 0
+        try:
+            for i in range(n):
+                latency = cpu + self._scan_once(keys_list[i], count,
+                                                snapshots, tables)
+                stats.scans += 1
+                clock.advance(latency)
+                done += 1
+                if append is not None:
+                    append(latency)
+                if until is not None and clock.now >= until:
+                    break
+        except NoSpaceError as exc:
+            exc.ops_done = done
+            raise
+        return done
+
+    def _scan_once(self, start_key: int, count: int,
+                   snapshots: list, tables: list) -> float:
+        """One scan over shared cursors; returns the charged read latency.
+
+        Mirrors :meth:`scan`'s merge bit for bit: sources enter the
+        heap in the same order, each pop immediately pulls the
+        source's next entry (the one-ahead lookahead that defines the
+        consumed windows), duplicate keys are suppressed newest-seq
+        first, and the consumed windows are charged as one sequential
+        read per table in source order.
+        """
+        heap: list = []
+        tie = itertools.count()
+        push = heapq.heappush
+        for skeys, sitems in snapshots:
+            pos = bisect_left(skeys, start_key)
+            if pos < len(skeys):
+                seq, _vseed, vlen, kind = sitems[pos]
+                push(heap, (skeys[pos], -seq, next(tie),
+                            (vlen, kind, (skeys, sitems, [pos + 1]))))
+        consumed: list[tuple] = []
+        for table in tables:
+            if table.max_key < start_key:
+                continue
+            first = int(np.searchsorted(table.keys, start_key))
+            window = [first, first]
+            consumed.append((table, window))
+            if first < table.nentries:
+                window[1] = first + 1
+                push(heap, (int(table.keys[first]), -int(table.seqs[first]),
+                            next(tie), (int(table.vlens[first]),
+                                        int(table.kinds[first]),
+                                        (table, window))))
+        key_bytes = self.config.key_bytes
+        stats = self._stats
+        last_key = None
+        nresults = 0
+        while heap and nresults < count:
+            key, _negseq, _tie, (vlen, kind, source) = heapq.heappop(heap)
+            if len(source) == 3:  # memtable cursor: (keys, items, [pos])
+                skeys, sitems, cursor = source
+                pos = cursor[0]
+                if pos < len(skeys):
+                    cursor[0] = pos + 1
+                    seq, _vseed, nvlen, nkind = sitems[pos]
+                    push(heap, (skeys[pos], -seq, next(tie),
+                                (nvlen, nkind, source)))
+            else:  # table cursor: (table, window)
+                table, window = source
+                idx = window[1]
+                if idx < table.nentries:
+                    window[1] = idx + 1
+                    push(heap, (int(table.keys[idx]), -int(table.seqs[idx]),
+                                next(tie), (int(table.vlens[idx]),
+                                            int(table.kinds[idx]), source)))
+            if key == last_key:
+                continue  # older version of an already-emitted key
+            last_key = key
+            if kind == KIND_PUT:
+                nresults += 1
+                stats.user_bytes_read += key_bytes + vlen
+        latency = 0.0
+        for table, (first, end) in consumed:
+            if end <= first:
+                continue
+            offset = int(table._offsets[first])
+            nbytes = int(table._offsets[end]) - offset
+            read_latency, _ = self.fs.pread(
+                table.filename, offset, min(nbytes, table.data_bytes - offset))
+            latency += read_latency
+        return latency
+
+    def _write_many(self, keys, vseeds, vlen: int, until: float | None,
+                    latencies: list | None, delete: bool) -> int:
+        """Shared batched write path for puts and deletes.
+
+        Works in every driver mode (DESIGN.md §7.2): between device
+        events a write's only side effects are pure accounting plus the
+        stall penalty, and inside one batch call no other scheduler
+        event can run, so the busy horizon — the scalar ``busy_until``
+        or the per-channel ``write_busy`` vector — is a constant and
+        the clock/penalty recurrence is replayed locally with the
+        scalar path's exact arithmetic (step-local capture time
+        accumulates advances identically since the §7 clock refactor).
+        Ops that trigger device work (WAL write-out, memtable rotation)
+        go through the scalar path, which also spawns the event-mode
+        background jobs; an event-aware ``until`` then stops the batch
+        right after them.
+        """
+        if self._closed:
+            self._ensure_open()
         n = len(keys)
         if n == 0:
             return 0
-        ssd = self._scalar_mode_ssd()
-        if ssd is None or self.scheduler is not None or self.clock.capturing:
+        ssd = self._replay_ssd
+        if ssd is None:
+            ssd = self._resolve_replay_ssd()
+        if ssd is False:
             if delete:
-                return KVStore.delete_many(self, keys, until)
-            return KVStore.put_many(self, keys, vseeds, vlen, until)
+                return KVStore.delete_many(self, keys, until, latencies)
+            return KVStore.put_many(self, keys, vseeds, vlen, until, latencies)
 
-        config = self.config
+        # Per-call setup is hot at queue depth (interleaving cuts
+        # segments down to a few ops), so the config-derived constants
+        # are cached once — the config is frozen.
+        consts = self._write_consts
+        if consts is None:
+            config = self.config
+            consts = self._write_consts = (
+                config.cpu_overhead, config.backlog_soft_limit,
+                config.backlog_hard_limit, config.slowdown_factor,
+                config.key_bytes, config.entry_overhead,
+                config.memtable_bytes, config.wal_buffer_bytes,
+                config.wal_entry_overhead, config.l0_stop_files,
+            )
+        (cpu, soft, hard, slowdown, key_bytes, entry_overhead,
+         memtable_bytes, wal_buffer_bytes, wal_entry_overhead,
+         l0_stop_files) = consts
         clock = self.clock
-        cpu = config.cpu_overhead
-        soft = config.backlog_soft_limit
-        hard = config.backlog_hard_limit
-        slowdown = config.slowdown_factor
-        payload = config.key_bytes if delete else config.key_bytes + vlen
-        entry_bytes = config.key_bytes + config.entry_overhead + (0 if delete else vlen)
-        keys_list = [int(k) for k in keys] if not hasattr(keys, "tolist") \
-            else keys.tolist()
-        seeds_list = None if vseeds is None else (
-            vseeds.tolist() if hasattr(vseeds, "tolist") else [int(s) for s in vseeds]
-        )
+        stats = self._stats
+        payload = key_bytes if delete else key_bytes + vlen
+        entry_bytes = key_bytes + entry_overhead + (0 if delete else vlen)
+        wal_record = payload + wal_entry_overhead
+        keys_list = as_int_list(keys)
+        seeds_list = None if vseeds is None else as_int_list(vseeds)
+        append = None if latencies is None else latencies.append
         done = 0
         try:
             while done < n:
                 cap = n - done
-                if self.wal is not None:
-                    cap = min(cap, self.wal.capacity_for(payload))
-                cap = min(cap, self.memtable.capacity_for(entry_bytes))
+                wal = self.wal
+                memtable = self.memtable
+                if wal is not None:
+                    # capacity_for, inlined (the next record past this
+                    # cap triggers the buffered write-out).
+                    wal_cap = (wal_buffer_bytes - 1 - wal._buffered) // wal_record
+                    if wal_cap < cap:
+                        cap = wal_cap
+                mem_cap = (memtable_bytes - 1
+                           - memtable.approximate_bytes) // entry_bytes
+                if mem_cap < cap:
+                    cap = mem_cap
                 if cap <= 0:
                     # The next op triggers a WAL write-out or a memtable
                     # rotation: run it through the scalar path, which
                     # performs the device work with exact semantics.
                     if delete:
-                        self.delete(keys_list[done])
+                        latency = self.delete(keys_list[done])
                     else:
-                        self.put(keys_list[done], Value(seeds_list[done], vlen))
+                        latency = self.put(keys_list[done],
+                                           Value(seeds_list[done], vlen))
                     done += 1
+                    if append is not None:
+                        append(latency)
                     if until is not None and clock.now >= until:
                         break
                     continue
 
                 # Replay the scalar clock/stall recurrence locally: no
                 # device work can occur inside this run, so the busy
-                # horizon and the L0 stop condition are constants.
+                # horizon and the L0 stop condition are constants — and
+                # the replay schedules no events, so a live until proxy
+                # can be snapshotted to a plain float for the window.
                 now = clock.now
-                busy = ssd.scalar_busy_until
-                l0_stop = len(self.version.levels[0]) >= config.l0_stop_files
+                if until is None or type(until) is float:
+                    bound = until
+                else:
+                    bound = until.snapshot()
+                l0_stop = len(self.version.levels[0]) >= l0_stop_files
+                channels = ssd._channels
+                if channels is None:
+                    busy = ssd.scalar_busy_until
+                    idle = busy <= now
+                else:
+                    write_busy = channels.write_busy
+                    nchannels = len(write_busy)
+                    idle = max(write_busy) <= now
                 took = 0
-                if busy <= now and not l0_stop:
+                if idle and not l0_stop:
                     # Zero backlog stays zero: per-op latency is the
                     # constant CPU cost (accumulated op by op, so float
                     # rounding matches the scalar path).
-                    if until is None:
+                    if bound is None and append is None:
                         for _ in range(cap):
                             now += cpu
                         took = cap
@@ -279,9 +559,11 @@ class LSMStore(KVStore):
                         for _ in range(cap):
                             now += cpu
                             took += 1
-                            if now >= until:
+                            if append is not None:
+                                append(cpu)
+                            if bound is not None and now >= bound:
                                 break
-                else:
+                elif channels is None:
                     stall = self.stall_seconds
                     for _ in range(cap):
                         backlog = busy - now
@@ -297,43 +579,97 @@ class LSMStore(KVStore):
                         stall += penalty
                         now += cpu + penalty
                         took += 1
-                        if until is not None and now >= until:
+                        if append is not None:
+                            append(cpu + penalty)
+                        if bound is not None and now >= bound:
+                            break
+                    self.stall_seconds = stall
+                else:
+                    # Channel mode: the stall input is the mean
+                    # per-channel write backlog (ChannelTimeline.
+                    # backlog), summed in channel order exactly like
+                    # the scalar call chain — skipped drained channels
+                    # contribute an exact 0.0.
+                    stall = self.stall_seconds
+                    for _ in range(cap):
+                        total = 0.0
+                        for b in write_busy:
+                            d = b - now
+                            if d > 0.0:
+                                total += d
+                        backlog = total / nchannels
+                        if backlog > hard or l0_stop:
+                            penalty = max(0.0, backlog - hard)
+                            penalty += (hard - soft) * slowdown
+                        elif backlog > soft:
+                            penalty = (backlog - soft) * slowdown
+                        else:
+                            penalty = 0.0
+                        stall += penalty
+                        now += cpu + penalty
+                        took += 1
+                        if append is not None:
+                            append(cpu + penalty)
+                        if bound is not None and now >= bound:
                             break
                     self.stall_seconds = stall
 
                 first_seq = self._next_seq
                 self._next_seq = first_seq + took
                 if delete:
-                    self.memtable.bulk_delete(keys_list[done:done + took], first_seq)
-                    self._stats.deletes += took
+                    if took == 1:
+                        # memtable.delete, inlined with the entry size
+                        # already in hand (the queue-depth hot path
+                        # lands here once per interleaved op).
+                        memtable._entries[keys_list[done]] = \
+                            (first_seq, 0, 0, KIND_DELETE)
+                        memtable.approximate_bytes += entry_bytes
+                    else:
+                        memtable.bulk_delete(keys_list[done:done + took],
+                                             first_seq)
+                    stats.deletes += took
                 else:
-                    self.memtable.bulk_put(keys_list[done:done + took], first_seq,
-                                           seeds_list[done:done + took], vlen)
-                    self._stats.puts += took
-                if self.wal is not None:
-                    self.wal.bulk_append(took, payload)
-                self._stats.user_bytes_written += took * payload
+                    if took == 1:
+                        # memtable.put, inlined (see the delete branch).
+                        memtable._entries[keys_list[done]] = \
+                            (first_seq, seeds_list[done], vlen, KIND_PUT)
+                        memtable.approximate_bytes += entry_bytes
+                    else:
+                        memtable.bulk_put(keys_list[done:done + took], first_seq,
+                                          seeds_list[done:done + took], vlen)
+                    stats.puts += took
+                if wal is not None:
+                    wal._buffered += took * wal_record  # bulk_append, inlined
+                stats.user_bytes_written += took * payload
                 clock.advance_to(now)
                 done += took
-                if until is not None and clock.now >= until:
+                # `now` is the clock after advance_to, so the boundary
+                # check can reuse the local instead of re-reading it.
+                if bound is not None and now >= bound:
                     break
         except NoSpaceError as exc:
             exc.ops_done = done
             raise
         return done
 
-    def _scalar_mode_ssd(self):
-        """The backing SSD when the scalar-timing fast path applies."""
-        ssd = self._ssd
-        if ssd is None:
-            device = self.fs.device
-            while not hasattr(device, "ssd"):
-                device = getattr(device, "parent", None)
-                if device is None:
-                    return None
-            ssd = self._ssd = device.ssd
-        if ssd.channel_timing_enabled or ssd.clock is not self.clock:
-            return None
+    def _resolve_replay_ssd(self):
+        """Resolve and memoize the SSD behind the filesystem.
+
+        Returns the SSD, or ``False`` when the write replay cannot
+        apply (no SSD in the device stack, or it runs on a different
+        clock — both fixed at construction time, so the verdict is
+        cached for the per-op hot path).
+        """
+        device = self.fs.device
+        while not hasattr(device, "ssd"):
+            device = getattr(device, "parent", None)
+            if device is None:
+                self._replay_ssd = False
+                return False
+        ssd = device.ssd
+        if ssd.clock is not self.clock:
+            ssd = False
+        self._replay_ssd = ssd
         return ssd
 
     def flush(self) -> None:

@@ -1,12 +1,24 @@
-"""The multi-client workload driver (DESIGN.md §4.4).
+"""The multi-client workload driver (DESIGN.md §4.4, §7).
 
 A :class:`ClientPool` runs *nclients* closed-loop clients against one
 shared store on the discrete-event scheduler.  Each client is a
-cooperative task: it issues an operation (whose latency is captured by
-the clock's step offset), suspends until the operation's completion
-time, then issues the next — so at any instant up to *nclients*
-operations are outstanding and the device's per-channel queues see a
-real queue depth.
+cooperative task: it issues operations (whose latency is captured by
+the clock's step time), suspends until the last operation's completion
+time whenever another task's event is due, then resumes — so at any
+instant up to *nclients* operations are outstanding and the device's
+per-channel queues see a real queue depth.
+
+By default each client is *batched* (DESIGN.md §7): it plans windows
+of operations through the shared :class:`~repro.workload.plan.
+BatchPlanner` and issues same-kind runs through the store's batch API
+with an event-scheduler-aware ``until`` (:class:`~repro.workload.plan.
+EventAwareUntil`).  A batch call executes operations back to back
+inside one event step only while no other event is pending before the
+client's clock — the moment an operation's completion reaches another
+task's event time (or an operation schedules background work), the
+batch returns, the client yields, and the event order proceeds exactly
+as in the scalar pool.  ``batch=False`` keeps the seed's
+one-op-per-event client as the equivalence oracle.
 
 Reproducibility rules:
 
@@ -17,12 +29,25 @@ Reproducibility rules:
 * client *i* > 0 draws from ``client{i}-keys`` / ``client{i}-ops``
   substreams — statistically independent, deterministic per seed;
 * all cross-client ordering flows through the event heap's ``(time,
-  seq)`` key, so a run is a pure function of (seed, spec, nclients).
+  seq)`` key, so a run is a pure function of (seed, spec, nclients);
+* the batched pool performs the same operations at the same virtual
+  times as the scalar pool — only the number of scheduler events
+  differs (batching coalesces consecutive steps of one client), which
+  is why ``events_run`` and the trace are diagnostics, not part of
+  the equivalence contract.
+
+Per-operation latencies are recorded as the operation's user-visible
+latency (the value the scalar KV call returns and the batch methods
+append to their ``latencies`` sink) — identical floats in the scalar
+and batched pools and in the inline runner's engines.
 
 ``stop_when`` / ``max_ops`` / sampling are pool-global, mirroring the
 inline runner: the sampling callback fires when *any* client's
-completion crosses the boundary, and the op budget counts operations
-across all clients.
+completion crosses the boundary, the op budget counts operations
+across all clients, and ``stop_when`` is evaluated whenever the
+global op count crosses a :data:`~repro.workload.runner.CHECK_EVERY`
+boundary (batch segments are cut at those boundaries so the check
+lands on the same op counts as the scalar pool).
 """
 
 from __future__ import annotations
@@ -36,6 +61,9 @@ from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
 from repro.sim.scheduler import Scheduler, TraceEntry
 from repro.workload.keys import make_chooser
+from repro.workload.plan import (
+    READ, SCAN, UPDATE, BatchPlanner, EventAwareUntil, update_seeds,
+)
 from repro.workload.runner import CHECK_EVERY, issue_one_op, validate_sampling
 from repro.workload.spec import WorkloadSpec
 
@@ -74,6 +102,7 @@ class ClientPool:
         max_ops: int | None = None,
         ssd=None,
         record_trace: bool = False,
+        batch: bool = True,
     ):
         if nclients < 1:
             raise ConfigError("nclients must be >= 1")
@@ -88,11 +117,13 @@ class ClientPool:
         self.max_ops = max_ops
         self.ssd = ssd
         self.record_trace = record_trace
+        self.batch = batch
 
     def run(self) -> PoolOutcome:
         """Drive all clients until stop/budget/out-of-space; blocking."""
         clock = self.store.clock
         scheduler = Scheduler(clock, record_trace=self.record_trace)
+        self._scheduler = scheduler
         if self.nclients > 1:
             # The degenerate one-client case keeps the seed's inline
             # background work and scalar device timing — bit-identical
@@ -111,8 +142,9 @@ class ClientPool:
             clock.now + self.sample_interval if self.sample_interval else None
         )
         start = clock.now
+        client = self._client if self.batch else self._client_scalar
         for client_id in range(self.nclients):
-            scheduler.spawn(self._client(client_id), label=f"client{client_id}")
+            scheduler.spawn(client(client_id), label=f"client{client_id}")
         try:
             scheduler.run()
         except NoSpaceError:
@@ -127,20 +159,130 @@ class ClientPool:
         return outcome
 
     # ------------------------------------------------------------------
-    # Client task
+    # Batched client task (the default; DESIGN.md §7)
     # ------------------------------------------------------------------
+    #: Largest single batch-call segment.  Must divide CHECK_EVERY so
+    #: segments still end exactly on the global stop_when boundaries;
+    #: smaller segments keep the per-call key-list slices short in the
+    #: interleave-heavy regime where `until` stops after an op or two.
+    SEGMENT_CAP = 8
+
     def _client(self, client_id: int):
         spec = self.spec
         outcome = self._outcome
+        store = self.store
+        clock = store.clock
+        scheduler = self._scheduler
+        heap = scheduler._heap
+        next_time = scheduler.next_time
+        per_client = outcome.per_client_ops
+        sink = outcome.latencies.sink(client_id)
+        planner = BatchPlanner(spec, *self._substreams(client_id))
+        until = EventAwareUntil(scheduler)
+        put_many = store.put_many
+        get_many = store.get_many
+        scan_many = store.scan_many
+        delete_many = store.delete_many
+        segment_cap = self.SEGMENT_CAP
+        vlen = spec.value_bytes
+        scan_length = spec.scan_length
+        max_ops = self.max_ops
+        version = 1
+        runs: list = []
+        run_idx = 0
+        cur_kind = 0
+        cur_keys = None
+        cur_seeds = None
+        offset = 0
+        while True:
+            if self._stop:
+                break
+            issued = outcome.ops_issued
+            if max_ops is not None and issued >= max_ops:
+                break
+            if issued % CHECK_EVERY == 0 and self.stop_when():
+                self._stop = True
+                break
+            if cur_keys is None:
+                if run_idx >= len(runs):
+                    runs = planner.plan(CHECK_EVERY)
+                    run_idx = 0
+                run = runs[run_idx]
+                run_idx += 1
+                cur_kind = run.kind
+                # Engines take python lists without re-conversion, and
+                # list slices are cheaper than numpy views for the
+                # short segments queue-depth interleaving produces.
+                cur_keys = run.keys.tolist()
+                cur_seeds = update_seeds(run.keys, version).tolist() \
+                    if cur_kind == UPDATE else None
+                offset = 0
+            # Cut the segment at the next CHECK_EVERY boundary of the
+            # *global* op count (where stop_when must be evaluated) and
+            # at the pool-wide op budget; `until` handles the sampling
+            # boundary and event interleaving per op.
+            cap = CHECK_EVERY - issued % CHECK_EVERY
+            if cap > segment_cap:
+                cap = segment_cap
+            if max_ops is not None and max_ops - issued < cap:
+                cap = max_ops - issued
+            end = min(offset + cap, len(cur_keys))
+            until.cap = self._next_sample
+            try:
+                if cur_kind == UPDATE:
+                    took = put_many(cur_keys[offset:end],
+                                    cur_seeds[offset:end], vlen,
+                                    until=until, latencies=sink)
+                    version += took
+                elif cur_kind == READ:
+                    took = get_many(cur_keys[offset:end],
+                                    until=until, latencies=sink)
+                elif cur_kind == SCAN:
+                    took = scan_many(cur_keys[offset:end], scan_length,
+                                     until=until, latencies=sink)
+                else:  # DELETE
+                    took = delete_many(cur_keys[offset:end],
+                                       until=until, latencies=sink)
+            except NoSpaceError as exc:
+                done = getattr(exc, "ops_done", 0)
+                outcome.ops_issued += done
+                per_client[client_id] += done
+                outcome.out_of_space = True
+                self._stop = True
+                break
+            outcome.ops_issued += took
+            per_client[client_id] += took
+            offset += took
+            if offset >= len(cur_keys):
+                cur_keys = None
+            now = clock.now
+            if self._next_sample is not None and now >= self._next_sample:
+                self._maybe_sample(clock)
+            if heap:
+                # Inline next_time() for the common non-cancelled head.
+                head = heap[0]
+                due = head.time <= now if not head.cancelled \
+                    else next_time() <= now
+                if due:
+                    # Another task's event is due (or an op scheduled
+                    # background work): suspend until this operation's
+                    # completion time, exactly where the scalar client
+                    # would have yielded.
+                    yield 0.0
+        # Anchor the client's completion on the timeline: step-local
+        # time is discarded when a task returns, so end with one no-op
+        # event at the last op's completion — the same final event the
+        # scalar client's last resume-and-break produces.
+        yield 0.0
+
+    # ------------------------------------------------------------------
+    # Scalar client task (the seed oracle: one op per event)
+    # ------------------------------------------------------------------
+    def _client_scalar(self, client_id: int):
+        spec = self.spec
+        outcome = self._outcome
         clock = self.store.clock
-        if client_id == 0:
-            key_label, op_label = "workload-keys", "workload-ops"
-        else:
-            key_label = f"client{client_id}-keys"
-            op_label = f"client{client_id}-ops"
-        key_rng = rng_mod.substream(self.seed, key_label)
-        op_rng = rng_mod.substream(self.seed, op_label)
-        chooser = make_chooser(spec.distribution, spec.nkeys, key_rng)
+        chooser, op_rng = self._substreams(client_id)
         version = 1
         while True:
             if self._stop:
@@ -150,18 +292,30 @@ class ClientPool:
             if outcome.ops_issued % CHECK_EVERY == 0 and self.stop_when():
                 self._stop = True
                 break
-            issued_at = clock.now
             try:
-                version = issue_one_op(self.store, spec, chooser, op_rng, version)
+                version, latency = issue_one_op(self.store, spec, chooser,
+                                                op_rng, version)
             except NoSpaceError:
                 outcome.out_of_space = True
                 self._stop = True
                 break
             outcome.ops_issued += 1
             outcome.per_client_ops[client_id] += 1
-            outcome.latencies.record(client_id, clock.now - issued_at)
+            outcome.latencies.record(client_id, latency)
             self._maybe_sample(clock)
             yield 0.0  # suspend until this operation's completion time
+
+    def _substreams(self, client_id: int):
+        """(key chooser, op rng) for one client's deterministic stream."""
+        if client_id == 0:
+            key_label, op_label = "workload-keys", "workload-ops"
+        else:
+            key_label = f"client{client_id}-keys"
+            op_label = f"client{client_id}-ops"
+        key_rng = rng_mod.substream(self.seed, key_label)
+        op_rng = rng_mod.substream(self.seed, op_label)
+        chooser = make_chooser(self.spec.distribution, self.spec.nkeys, key_rng)
+        return chooser, op_rng
 
     def _maybe_sample(self, clock) -> None:
         """The inline runner's boundary-crossing sampler, pool-global."""

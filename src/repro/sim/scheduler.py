@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable, Generator, Iterator
 
@@ -78,9 +79,14 @@ class Task:
             self.done = True
             self.result = stop.value
             return
-        self._suspend(yielded)
+        if type(yielded) is float:  # the per-operation hot path
+            self._scheduler.schedule(yielded, self._step, label=self.label)
+        else:
+            self._suspend(yielded)
 
     def _suspend(self, yielded) -> None:
+        # Plain float delays never reach here: _step schedules them
+        # directly (the per-operation hot path).
         if isinstance(yielded, (int, float)):
             self._scheduler.schedule(float(yielded), self._step, label=self.label)
         elif hasattr(yielded, "_enqueue"):  # a Resource request
@@ -116,7 +122,12 @@ class Scheduler:
         """Fire *fn* after *delay* virtual seconds; returns the event."""
         if delay < 0:
             raise ConfigError(f"cannot schedule an event {delay!r}s in the past")
-        return self.schedule_at(self.clock.now + delay, fn, label)
+        # schedule_at, inlined minus its past-time validation: now + a
+        # non-negative delay can never be in the past, and this is the
+        # per-operation path of every client task.
+        event = _Event(self.clock.now + delay, next(self._seq), fn, label)
+        heapq.heappush(self._heap, event)
+        return event
 
     def schedule_at(self, time: float, fn: Callable[[], None],
                     label: str = "event") -> _Event:
@@ -138,15 +149,26 @@ class Scheduler:
 
     def step(self) -> bool:
         """Run the earliest pending event; False when none remain."""
+        clock = self.clock
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self.clock.begin_step(event.time)
+            # begin_step/end_step, inlined: this is the per-event hot
+            # path and the single-threaded loop cannot nest steps, so
+            # the re-entrancy guards are redundant here.  This mirrors
+            # VirtualClock's capture protocol field for field — any
+            # change to the clock's representation must update both
+            # (a matching note sits on VirtualClock.begin_step).
+            if event.time > clock._now:
+                clock._now = event.time
+            clock._step_now = clock._now
+            clock._capturing = True
             try:
                 event.fn()
             finally:
-                self.clock.end_step()
+                clock._step_now = clock._now
+                clock._capturing = False
             self.events_run += 1
             if self.trace is not None:
                 self.trace.append(TraceEntry(event.time, event.seq, event.label))
@@ -159,6 +181,28 @@ class Scheduler:
             if until is not None and until():
                 break
             self.step()
+
+    def next_time(self) -> float:
+        """Virtual time of the earliest pending event (inf when idle).
+
+        This is the batched client pool's interleaving horizon
+        (DESIGN.md §7): a client may keep executing operations inside
+        one event step only while its clock stays *before* this time —
+        crossing it means another task's event must run first.  Events
+        scheduled mid-step (background work spawned by an operation)
+        land at or before the current step time, so consulting this
+        after every operation also stops a batch right after the op
+        that scheduled new work.
+        """
+        heap = self._heap
+        if not heap:
+            return math.inf
+        head = heap[0]
+        if not head.cancelled:  # the hot path: one attribute probe
+            return head.time
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else math.inf
 
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) events."""

@@ -8,6 +8,7 @@ from repro.workload.keys import (
     ZipfianKeys,
     make_chooser,
 )
+from repro.workload.plan import BatchPlanner, EventAwareUntil, OpRun
 from repro.workload.runner import RunOutcome, load_sequential, run_workload
 from repro.workload.spec import WorkloadSpec
 
@@ -16,6 +17,9 @@ __all__ = [
     "RunOutcome",
     "load_sequential",
     "run_workload",
+    "BatchPlanner",
+    "OpRun",
+    "EventAwareUntil",
     "KeyChooser",
     "UniformKeys",
     "SequentialKeys",

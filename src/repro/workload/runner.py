@@ -8,7 +8,9 @@ sampling windows; see DESIGN.md §2).
 
 Batched execution (DESIGN.md §6): by default keys and op types are
 drawn with one RNG call per ``CHECK_EVERY`` window and dispatched as
-runs through the engines' batch API (``put_many`` & co.).  The key and
+runs through the engines' batch API (``put_many`` & co.).  The window
+draw and run segmentation live in the shared batch planner
+(:class:`repro.workload.plan.BatchPlanner`, DESIGN.md §7): the key and
 op-draw substreams are independent generators and numpy's bulk draws
 consume them exactly like the equivalent scalar draws, so the batched
 driver issues a bit-identical op stream, clock, and metrics to the
@@ -18,9 +20,10 @@ oracle).  Sampling stays exact because batch calls stop at the
 scalar loop would have fired the callback.
 
 Multi-client workloads are driven by :class:`repro.sim.clients.
-ClientPool` on the discrete-event scheduler (DESIGN.md §4); it reuses
-:func:`issue_one_op` so a one-client pool issues the exact operation
-stream of this runner.
+ClientPool` on the discrete-event scheduler (DESIGN.md §4); it
+consumes the same planner (or :func:`issue_one_op`, its scalar
+oracle), so a one-client pool issues the exact operation stream of
+this runner.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
 from repro.kv.values import seeds_for, value_for
 from repro.workload.keys import KeyChooser, make_chooser
+from repro.workload.plan import READ, SCAN, UPDATE, BatchPlanner, update_seeds
 from repro.workload.spec import WorkloadSpec
 
 
@@ -112,26 +116,31 @@ def issue_one_op(
     chooser: KeyChooser,
     op_rng: np.random.Generator,
     version: int,
-) -> int:
-    """Issue one operation of *spec*; returns the next value version.
+) -> tuple[int, float]:
+    """Issue one operation of *spec*; returns (next version, latency).
 
     The op mix is drawn as cumulative fractions in a fixed order
     (read, scan, delete, else update) so the operation stream for a
     given RNG state is stable across drivers — the inline runner and
-    the event-driven client pool share this dispatch.
+    the event-driven client pool share this dispatch; the batched
+    drivers replicate it through the planner's vectorized kind split
+    (:mod:`repro.workload.plan`).  The returned latency is the op's
+    user-visible latency, the same value the engines append into a
+    batch call's ``latencies`` sink — so scalar- and batch-driven
+    latency series are bit-identical.
     """
     key = chooser.next_key()
     draw = op_rng.random()
     if draw < spec.read_fraction:
-        store.get(key)
+        latency, _value = store.get(key)
     elif draw < spec.read_fraction + spec.scan_fraction:
-        store.scan(key, spec.scan_length)
+        latency, _pairs = store.scan(key, spec.scan_length)
     elif draw < spec.read_fraction + spec.scan_fraction + spec.delete_fraction:
-        store.delete(key)
+        latency = store.delete(key)
     else:
-        store.put(key, value_for(key, version, spec.value_bytes))
+        latency = store.put(key, value_for(key, version, spec.value_bytes))
         version += 1
-    return version
+    return version, latency
 
 
 def run_workload(
@@ -170,7 +179,8 @@ def run_workload(
                     break
                 if outcome.ops_issued % CHECK_EVERY == 0 and stop_when():
                     break
-                version = issue_one_op(store, spec, chooser, op_rng, version)
+                version, _latency = issue_one_op(store, spec, chooser,
+                                                 op_rng, version)
                 outcome.ops_issued += 1
                 next_sample = _after_op_sample(clock, next_sample,
                                                sample_interval, on_sample)
@@ -178,15 +188,10 @@ def run_workload(
             outcome.out_of_space = True
         return outcome
 
-    # Batched driver: one RNG draw per window, dispatched as runs of
-    # same-type ops through the store's batch API.  The cumulative
-    # thresholds match issue_one_op's strict-< comparison chain
-    # (searchsorted side="right": kind = number of thresholds <= draw).
-    thresholds = np.array([
-        spec.read_fraction,
-        spec.read_fraction + spec.scan_fraction,
-        spec.read_fraction + spec.scan_fraction + spec.delete_fraction,
-    ])
+    # Batched driver: the shared planner draws one RNG window per
+    # CHECK_EVERY ops and segments it into runs of same-type ops,
+    # dispatched through the store's batch API.
+    planner = BatchPlanner(spec, chooser, op_rng)
     vlen = spec.value_bytes
     scan_length = spec.scan_length
     try:
@@ -198,49 +203,42 @@ def run_workload(
             n = CHECK_EVERY
             if max_ops is not None:
                 n = min(n, max_ops - outcome.ops_issued)
-            keys = chooser.batch(n)
-            draws = op_rng.random(n)
-            kinds = np.searchsorted(thresholds, draws, side="right").tolist()
-            i = 0
-            while i < n:
-                kind = kinds[i]
-                j = i + 1
-                while j < n and kinds[j] == kind:
-                    j += 1
-                if kind == 3:  # update run
-                    run_keys = keys[i:j]
-                    run_seeds = seeds_for(
-                        run_keys, np.arange(version, version + (j - i))
-                    )
+            for run in planner.plan(n):
+                nrun = len(run)
+                if run.kind == UPDATE:
+                    run_keys = run.keys
+                    run_seeds = update_seeds(run_keys, version)
                     offset = 0
-                    while i < j:
+                    while offset < nrun:
                         took = store.put_many(run_keys[offset:], run_seeds[offset:],
                                               vlen, until=next_sample)
                         version += took
                         offset += took
-                        i += took
                         outcome.ops_issued += took
                         next_sample = _after_op_sample(clock, next_sample,
                                                        sample_interval, on_sample)
-                elif kind == 0:  # read run
-                    while i < j:
-                        took = store.get_many(keys[i:j], until=next_sample)
-                        i += took
+                elif run.kind == READ:
+                    offset = 0
+                    while offset < nrun:
+                        took = store.get_many(run.keys[offset:], until=next_sample)
+                        offset += took
                         outcome.ops_issued += took
                         next_sample = _after_op_sample(clock, next_sample,
                                                        sample_interval, on_sample)
-                elif kind == 1:  # scan run
-                    while i < j:
-                        took = store.scan_many(keys[i:j], scan_length,
+                elif run.kind == SCAN:
+                    offset = 0
+                    while offset < nrun:
+                        took = store.scan_many(run.keys[offset:], scan_length,
                                                until=next_sample)
-                        i += took
+                        offset += took
                         outcome.ops_issued += took
                         next_sample = _after_op_sample(clock, next_sample,
                                                        sample_interval, on_sample)
-                else:  # delete run
-                    while i < j:
-                        took = store.delete_many(keys[i:j], until=next_sample)
-                        i += took
+                else:  # DELETE run
+                    offset = 0
+                    while offset < nrun:
+                        took = store.delete_many(run.keys[offset:], until=next_sample)
+                        offset += took
                         outcome.ops_issued += took
                         next_sample = _after_op_sample(clock, next_sample,
                                                        sample_interval, on_sample)

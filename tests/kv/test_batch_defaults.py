@@ -1,0 +1,151 @@
+"""The KVStore default batch methods' shared contract (DESIGN.md §7.1).
+
+Satellite audit of PR 4: all four default batch fallbacks must treat
+``until``, ``ops_done`` and ``latencies`` *symmetrically* —
+
+* the ``until`` bound is checked after each op (the crossing op is
+  performed and counted, then the batch returns);
+* a mid-batch :class:`NoSpaceError` carries the completed-op count in
+  ``ops_done`` (the raising op is not counted);
+* each completed op appends exactly one latency before the ``until``
+  check, so a cut or aborted batch has appended exactly ``done`` ops.
+
+``scan_many`` historically lagged the other three (it was the last to
+gain native paths), so these tests pin every method against one stub
+store rather than trusting symmetry by inspection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.errors import NoSpaceError
+from repro.kv.api import KVStore
+from repro.kv.stats import KVStats
+
+
+class StubStore(KVStore):
+    """Fixed-latency store that can be armed to fail at the Nth op."""
+
+    name = "stub"
+
+    def __init__(self, op_latency: float = 1.0, fail_at: int | None = None):
+        self.clock = VirtualClock()
+        self.op_latency = op_latency
+        self.fail_at = fail_at  # 0-based op index that raises
+        self.ops = 0
+        self._stats = KVStats()
+
+    def _op(self) -> float:
+        if self.fail_at is not None and self.ops == self.fail_at:
+            raise NoSpaceError("stub device full")
+        self.ops += 1
+        self.clock.advance(self.op_latency)
+        return self.op_latency
+
+    def put(self, key, value):
+        return self._op()
+
+    def get(self, key):
+        return self._op(), None
+
+    def delete(self, key):
+        return self._op()
+
+    def scan(self, start_key, count):
+        return self._op(), []
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+    @property
+    def stats(self):
+        return self._stats
+
+    @property
+    def disk_bytes_used(self):
+        return 0
+
+
+def call(store, method, n=8, **kwargs):
+    keys = list(range(n))
+    if method == "put_many":
+        return store.put_many(keys, [0] * n, 10, **kwargs)
+    if method == "get_many":
+        return store.get_many(keys, **kwargs)
+    if method == "delete_many":
+        return store.delete_many(keys, **kwargs)
+    return store.scan_many(keys, 5, **kwargs)
+
+
+METHODS = ("put_many", "get_many", "delete_many", "scan_many")
+
+
+class TestUntilBreakAfterOp:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_crossing_op_is_performed_and_counted(self, method):
+        store = StubStore(op_latency=1.0)
+        # Boundary inside the third op: ops 1..3 run, 3 crosses.
+        done = call(store, method, until=2.5)
+        assert done == 3
+        assert store.ops == 3
+        assert store.clock.now == 3.0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_boundary_already_crossed_still_does_one_op(self, method):
+        store = StubStore(op_latency=1.0)
+        store.clock.advance(10.0)
+        done = call(store, method, until=5.0)
+        assert done == 1  # stop *after* the first op, never before
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_no_until_runs_everything(self, method):
+        store = StubStore()
+        assert call(store, method, n=8) == 8
+        assert store.ops == 8
+
+
+class TestOpsDonePartialAccounting:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_no_space_carries_completed_count(self, method):
+        store = StubStore(fail_at=5)
+        with pytest.raises(NoSpaceError) as exc_info:
+            call(store, method, n=8)
+        assert exc_info.value.ops_done == 5
+        assert store.ops == 5  # the raising op did not complete
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_fail_on_first_op_reports_zero(self, method):
+        store = StubStore(fail_at=0)
+        with pytest.raises(NoSpaceError) as exc_info:
+            call(store, method, n=4)
+        assert exc_info.value.ops_done == 0
+
+
+class TestLatencySink:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_one_latency_per_completed_op(self, method):
+        store = StubStore(op_latency=0.5)
+        sink: list[float] = []
+        done = call(store, method, n=6, latencies=sink)
+        assert done == 6
+        assert sink == [0.5] * 6
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_until_cut_appends_exactly_done(self, method):
+        store = StubStore(op_latency=1.0)
+        sink: list[float] = []
+        done = call(store, method, until=1.5, latencies=sink)
+        assert len(sink) == done == 2
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_no_space_appends_exactly_done(self, method):
+        store = StubStore(fail_at=3)
+        sink: list[float] = []
+        with pytest.raises(NoSpaceError) as exc_info:
+            call(store, method, n=8, latencies=sink)
+        assert len(sink) == exc_info.value.ops_done == 3
