@@ -1,14 +1,20 @@
 """Wall-clock throughput benchmark and perf-regression harness.
 
 ``repro bench`` measures how fast the simulator itself runs — not the
-simulated metrics, which are pinned elsewhere — on three cells per
+simulated metrics, which are pinned elsewhere — on four cells per
 engine: the paper's fig-2 update workload (sequential load + uniform
 updates until host writes reach a capacity multiple, §3.2) on the
 inline runner, a scan-mix variant (25% reads / 25% scans) exercising
-the natively batched read/scan paths (DESIGN.md §7.3), and a 4-client
-pooled cell driving the batched event-scheduler client (DESIGN.md
-§7.2).  Results are written to ``BENCH_throughput.json`` so every PR
-extends a recorded perf trajectory (DESIGN.md §6).
+the natively batched read/scan paths (DESIGN.md §7.3), and 4- and
+16-client pooled cells driving the batched event-scheduler client
+(DESIGN.md §7.2; the 16-client cell keeps the event-aware ``until``
+in the deep-interleave regime where per-op engine cost dominates —
+DESIGN.md §8).  Results are written to ``BENCH_throughput.json`` so
+every PR extends a recorded perf trajectory (DESIGN.md §6).
+
+``repro profile`` wraps any one of these cells in cProfile and prints
+the top functions, so perf PRs locate hot spots instead of guessing
+(DESIGN.md §8).
 
 Three kinds of numbers are recorded per case:
 
@@ -47,14 +53,24 @@ from repro.sim.clients import ClientPool
 from repro.workload.runner import load_sequential, run_workload
 
 #: v2 adds the scan-mix and 4-client pooled cells (DESIGN.md §7) and
-#: per-cell latency percentiles in the pooled fingerprint.
+#: per-cell latency percentiles in the pooled fingerprint.  The
+#: 16-client pooled cells (DESIGN.md §8) extend the grid without
+#: changing the record shape, so the schema is unchanged.
 SCHEMA_VERSION = 2
 
 #: Engines benchmarked, in report order.
 ENGINES = (Engine.LSM, Engine.BTREE)
 
-#: Concurrent clients in the pooled cell.
+#: Concurrent clients in the pooled cells.
 POOL_CLIENTS = 4
+POOL16_CLIENTS = 16
+
+#: Named workload shapes shared by the bench grid and ``repro
+#: profile`` (spec overrides on top of the fig-2 update experiment).
+WORKLOADS: dict[str, dict] = {
+    "update": {},
+    "scanmix": {"read_fraction": 0.25, "scan_fraction": 0.25},
+}
 
 
 def bench_case(engine: Engine, scale: Scale, batch: bool = True,
@@ -145,12 +161,14 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
 
 #: The bench grid: (workload_name, nclients, spec overrides).  The
 #: scan-mix cell exercises the natively batched read/scan paths; the
-#: pooled cell exercises the batched multi-client driver.  Pooled
-#: speedups compare the measured phase only (the load is shared).
+#: pooled cells exercise the batched multi-client driver at moderate
+#: and deep queue depth.  Pooled speedups compare the measured phase
+#: only (the load is shared).
 CELLS: tuple[tuple[str, int, dict], ...] = (
-    ("update", 1, {}),
-    ("scanmix", 1, {"read_fraction": 0.25, "scan_fraction": 0.25}),
-    ("update", POOL_CLIENTS, {}),
+    ("update", 1, WORKLOADS["update"]),
+    ("scanmix", 1, WORKLOADS["scanmix"]),
+    ("update", POOL_CLIENTS, WORKLOADS["update"]),
+    ("update", POOL16_CLIENTS, WORKLOADS["update"]),
 )
 
 
@@ -213,6 +231,46 @@ def run_bench(smoke: bool = False, repeat: int = 2) -> dict[str, Any]:
     if not smoke:
         suites["default"] = run_suite("default", repeat=repeat)
     return {"schema": SCHEMA_VERSION, "workload": "fig2-cells", "suites": suites}
+
+
+def profile_case(engine: Engine, scale_name: str, workload_name: str = "update",
+                 nclients: int = 1, batch: bool = True, top: int = 30,
+                 sort: str = "cumulative") -> str:
+    """cProfile one bench cell; returns the rendered top-N table.
+
+    The cell is the same load + measured run :func:`bench_case` times,
+    so a profile line can be matched one-to-one against the bench
+    numbers it explains.  ``sort`` is any :mod:`pstats` sort key
+    (``cumulative`` ranks call trees, ``tottime`` ranks function
+    bodies).  Remember that instrumentation inflates this codebase's
+    per-call costs roughly 2-5x: use profiles to *rank* hot spots and
+    uninstrumented ``repro bench`` walls to decide if a change paid
+    off (DESIGN.md §8).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    overrides = WORKLOADS[workload_name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    record = bench_case(Engine(engine), SCALES[scale_name], batch=batch,
+                        workload_name=workload_name, nclients=nclients,
+                        **overrides)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top)
+    wall = record["wall"]
+    header = (
+        f"profile of {record['name']} (scale {scale_name}, "
+        f"{'batched' if batch else 'scalar'} driver)\n"
+        f"profiled run (cProfile overhead INCLUDED — do not compare "
+        f"against `repro bench` walls): load {wall['load_seconds']:.3f}s, "
+        f"run {wall['run_seconds']:.3f}s, "
+        f"{wall['run_ops_per_sec']:,.0f} run ops/s\n"
+    )
+    return header + stream.getvalue()
 
 
 def check_regression(current: dict[str, Any], baseline: dict[str, Any],

@@ -28,6 +28,11 @@ class Partition:
         self.start_page = start_page
         self.name = name
         self._npages = npages
+        # The default stack mounts the filesystem on a whole-device
+        # partition; address translation is then the identity and the
+        # parent performs the same bounds validation, so writes pass
+        # straight through (DESIGN.md §8).
+        self._whole = start_page == 0 and npages == parent.npages
 
     # Device protocol ----------------------------------------------------------
     @property
@@ -49,6 +54,10 @@ class Partition:
         n = len(lpns)
         if n == 0:
             return 0.0
+        if self._whole:
+            # Identity translation; the FTL validates the same logical
+            # space and raises the same OutOfRangeError.
+            return self.parent.write_pages(lpns, background=background)
         if n <= 8:
             # Small requests (journal records, page reconciliations)
             # translate on Python ints; the array path's min/max scans

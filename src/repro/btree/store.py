@@ -302,12 +302,18 @@ class BTreeStore(KVStore):
         config = self.config
         cpu = config.cpu_overhead
         key_bytes = config.key_bytes
+        checkpoint_interval = config.checkpoint_interval
+        checkpoint_log_bytes = config.checkpoint_log_bytes
         stats = self._stats
         touch = self.cache.touch
         append = None if latencies is None else latencies.append
         keys_list = as_int_list(keys)
         leaf = self._read_cursor
         done = 0
+        # Local clock mirror (see put_many): lookups advance time only
+        # at op end, so the boundary and checkpoint-due checks run on a
+        # plain float.
+        now = clock.now
         try:
             for i in range(n):
                 key = keys_list[i]
@@ -326,12 +332,17 @@ class BTreeStore(KVStore):
                 if idx >= 0:
                     stats.user_bytes_read += key_bytes + leaf.vlens[idx]
                 stats.gets += 1
-                self._maybe_checkpoint()
+                if (now - self._last_checkpoint >= checkpoint_interval
+                        or self._journal_since_checkpoint >= checkpoint_log_bytes):
+                    # _maybe_checkpoint's due test, inlined (it reads
+                    # the same clock value this mirror tracks).
+                    self._maybe_checkpoint()
                 clock.advance(latency)
+                now += latency
                 done += 1
                 if append is not None:
                     append(latency)
-                if until is not None and clock.now >= until:
+                if until is not None and now >= until:
                     break
         except NoSpaceError as exc:
             exc.ops_done = done
@@ -365,6 +376,7 @@ class BTreeStore(KVStore):
         keys_list = as_int_list(start_keys)
         cached = self._read_cursor
         done = 0
+        now = clock.now  # local mirror, as in put_many/get_many
         try:
             for i in range(n):
                 start_key = keys_list[i]
@@ -391,10 +403,11 @@ class BTreeStore(KVStore):
                     leaf = leaf.next_leaf
                 stats.scans += 1
                 clock.advance(latency)
+                now += latency
                 done += 1
                 if append is not None:
                     append(latency)
-                if until is not None and clock.now >= until:
+                if until is not None and now >= until:
                     break
         except NoSpaceError as exc:
             exc.ops_done = done

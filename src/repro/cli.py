@@ -5,6 +5,7 @@
 ``repro run --engine lsm ...``   run a single custom experiment
 ``repro campaign --preset ...``  run a grid of experiments on a worker pool
 ``repro bench``                  wall-clock perf benchmark + regression check
+``repro profile``                cProfile one bench cell (top-N hot spots)
 ``repro pitfalls``               print the seven-pitfall checklist
 """
 
@@ -131,6 +132,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fail on absolute ops/sec regressions too "
                             "(baseline must come from the same machine)")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one bench cell and print the hottest functions",
+        description=(
+            "Run one `repro bench` cell under cProfile and print the top-N "
+            "functions (DESIGN.md §8), so perf work starts from measured hot "
+            "spots.  Profiles rank; uninstrumented `repro bench` walls "
+            "decide."
+        ),
+    )
+    profile.add_argument("--engine", choices=[e.value for e in Engine],
+                         default="lsm")
+    profile.add_argument("--workload", choices=["update", "scanmix"],
+                         default="update")
+    profile.add_argument("--clients", type=int, default=1,
+                         help="1 = inline runner; >1 = pooled cell")
+    profile.add_argument("--scale", choices=sorted(SCALES), default="small")
+    profile.add_argument("--scalar", action="store_true",
+                         help="profile the scalar (one-op-at-a-time) driver "
+                              "instead of the batched one")
+    profile.add_argument("--top", type=int, default=30,
+                         help="rows to print (default %(default)s)")
+    profile.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],
+                         default="cumulative",
+                         help="pstats sort key (default %(default)s)")
+    profile.add_argument("--out", help="also write the table to a file")
+    profile.set_defaults(func=_cmd_profile)
 
     pitfalls = sub.add_parser("pitfalls", help="print the 7-pitfall checklist")
     pitfalls.set_defaults(func=_cmd_pitfalls)
@@ -285,6 +314,21 @@ def _cmd_bench(args) -> int:
             return 1
         print(f"no regression vs {args.check} "
               f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.bench import profile_case
+
+    table = profile_case(
+        Engine(args.engine), args.scale, workload_name=args.workload,
+        nclients=args.clients, batch=not args.scalar, top=args.top,
+        sort=args.sort,
+    )
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(table)
     return 0
 
 

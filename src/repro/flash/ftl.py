@@ -30,11 +30,9 @@ import numpy as np
 
 from repro.errors import ConfigError, DeviceFullError, OutOfRangeError
 from repro.flash.config import SSDConfig
-from repro.flash.gc import GCPolicy, GreedyPolicy
-
-_FREE = 0
-_OPEN = 1
-_CLOSED = 2
+from repro.flash.gc import (
+    _CLOSED, _FREE, _OPEN, GCPolicy, GreedyPolicy, VictimIndex,
+)
 
 
 @dataclass(slots=True)
@@ -92,6 +90,12 @@ class FlashTranslationLayer:
             np.zeros(n_logical, dtype=np.uint8) if config.stream_separation else None
         )
         self._seq = 0
+        # Victim-selection index (DESIGN.md §8): kept incrementally in
+        # sync by every valid-count mutation below, so GC never scans
+        # the block array.  Third-party policies without an indexed
+        # selector fall back to the original scan path.
+        self._victim_index = VictimIndex(config.nblocks) \
+            if self.policy.indexed else None
 
         ppb = config.pages_per_block
         self._ppb = ppb
@@ -175,10 +179,18 @@ class FlashTranslationLayer:
                 p2l = self._p2l
                 valid = self._valid_count
                 ppb = self._ppb
+                index = self._victim_index
+                pend = None if index is None else index.pending
                 for old in self._l2p[start : start + npages].tolist():
                     if old >= 0:
                         p2l[old] = -1
-                        valid[old // ppb] -= 1
+                        blk = old // ppb
+                        valid[blk] -= 1
+                        if pend is not None:
+                            # Deferred index note (see _invalidate).
+                            pend.append(blk)
+                if pend is not None and len(pend) > index._compact_at:
+                    index.maybe_compact(valid, self._state, self._closed_seq)
             else:
                 self._invalidate(self._l2p[start : start + npages])
             self._program_range(start, npages, work)
@@ -270,7 +282,43 @@ class FlashTranslationLayer:
         if live.size == 0:
             return
         self._p2l[live] = -1
-        np.subtract.at(self._valid_count, live // self._ppb, 1)
+        blocks = live // self._ppb
+        valid = self._valid_count
+        index = self._victim_index
+        pend = None if index is None else index.pending
+        if blocks.size <= 16:
+            # Small batches dominate the per-op path (WAL write-outs,
+            # journal records).  np.subtract.at is disproportionately
+            # slow there, and consecutive pages share a block, so the
+            # decrements are applied run by run on Python ints, with
+            # one deferred victim-index note per run (see
+            # VictimIndex.flush).
+            last = -1
+            count = 0
+            for b in blocks.tolist():
+                if b == last:
+                    count += 1
+                    continue
+                if count:
+                    valid[last] = int(valid[last]) - count
+                    if pend is not None:
+                        pend.append(last)
+                last = b
+                count = 1
+            valid[last] = int(valid[last]) - count
+            if pend is not None:
+                pend.append(last)
+        else:
+            np.subtract.at(valid, blocks, 1)
+            if index is not None:
+                # Dedupe via bincount: O(pages + nblocks) beats the
+                # sort behind np.unique for compaction-sized batches,
+                # and nblocks is small by construction.
+                state = self._state
+                ub = np.nonzero(np.bincount(blocks, minlength=len(state)))[0]
+                pend.extend(ub[state[ub] == _CLOSED].tolist())
+        if pend is not None and len(pend) > index._compact_at:
+            index.maybe_compact(valid, self._state, self._closed_seq)
 
     def _write_few(self, lpns, work: WorkUnits) -> None:
         """Small-batch write path on Python ints (no numpy temporaries).
@@ -285,6 +333,12 @@ class FlashTranslationLayer:
         ppb = self._ppb
         logical = self._logical_pages
         reloc = self._reloc_count
+        index = self._victim_index
+        # Deferred index maintenance: note the touched block and move
+        # on — the greedy heap reconciles at its next consultation
+        # (VictimIndex.flush), keeping this per-page loop free of
+        # state probes and heap pushes.
+        pend = None if index is None else index.pending
         cold: list[int] = []
         hot: list[int] = []
         for lpn in lpns:
@@ -294,12 +348,17 @@ class FlashTranslationLayer:
             old = int(l2p[lpn])
             if old >= 0:
                 p2l[old] = -1
-                valid[old // ppb] -= 1
+                blk = old // ppb
+                valid[blk] -= 1
+                if pend is not None:
+                    pend.append(blk)
                 (hot if reloc is not None else cold).append(lpn)
             else:
                 cold.append(lpn)
             if reloc is not None:
                 reloc[lpn] = 0  # host writes reset the cold clock
+        if pend is not None and len(pend) > index._compact_at:
+            index.maybe_compact(valid, self._state, self._closed_seq)
         heads = self._heads
         for head, group in (("cold", cold), ("hot", hot)):
             for lpn in group:
@@ -363,6 +422,9 @@ class FlashTranslationLayer:
         if block >= 0:  # current block is full: close it
             self._state[block] = _CLOSED
             self._closed_seq[block] = self._seq
+            if self._victim_index is not None:
+                self._victim_index.close(
+                    block, int(self._valid_count[block]), self._seq)
             self._seq += 1
         if head in ("cold", "hot") and len(self._free) <= self._low_count:
             self._collect(work)  # GC heads must never re-enter collection
@@ -382,6 +444,13 @@ class FlashTranslationLayer:
         re-create invalid pages).  Only a device with no reclaimable
         space *and* no reserve is an error.
         """
+        index = self._victim_index
+        if index is not None and len(index.heap) > index._compact_at:
+            # The per-op small-write path pushes without compacting
+            # (its loop must stay tight); collection is the periodic
+            # hook that keeps the lazy structures bounded.
+            index.maybe_compact(self._valid_count, self._state,
+                                self._closed_seq)
         iterations = 0
         limit = 8 * self.config.nblocks
         while len(self._free) < self._high_count:
@@ -400,14 +469,27 @@ class FlashTranslationLayer:
 
     def _select_victim(self) -> int:
         """Pick a victim, or -1 if no closed block would yield space."""
+        valid = self._valid_count
+        index = self._victim_index
+        if index is not None:
+            victim = self.policy.select_indexed(
+                index, valid, self._state, self._closed_seq)
+            if valid[victim] >= self._ppb:
+                # A fully valid victim yields no space; the greedy heap
+                # answers the livelock-guard fallback in one peek — its
+                # minimum being fully valid means *every* closed block
+                # is.
+                victim = index.greedy_min(valid, self._state)[1]
+                if valid[victim] >= self._ppb:
+                    return -1
+            return victim
         closed_mask = self._state == _CLOSED
-        victim = self.policy.select_victim(self._valid_count, closed_mask, self._closed_seq)
-        if self._valid_count[victim] >= self._ppb:
-            # A fully valid victim yields no space; fall back to greedy so
-            # age-based policies cannot livelock the collector.
+        victim = self.policy.select_victim(valid, closed_mask, self._closed_seq)
+        if valid[victim] >= self._ppb:
+            # Scan-path fallback (non-indexed policies only).
             candidates = np.where(closed_mask)[0]
-            victim = int(candidates[np.argmin(self._valid_count[candidates])])
-            if self._valid_count[victim] >= self._ppb:
+            victim = int(candidates[np.argmin(valid[candidates])])
+            if valid[victim] >= self._ppb:
                 return -1
         return victim
 
@@ -417,9 +499,13 @@ class FlashTranslationLayer:
         page_lpns = self._p2l[base : base + self._ppb]
         valid_lpns = page_lpns[page_lpns >= 0].copy()
         if valid_lpns.size:
-            # Relocation uses the same program path, which invalidates the
-            # victim's copies as a side effect.
-            self._invalidate(self._l2p[valid_lpns])
+            # Invalidate the victim's copies directly (the relocation
+            # program path re-maps them): every live page sits in the
+            # victim, so this is one slice store plus one counter — and
+            # no victim-index pushes, since the block is about to be
+            # freed anyway.
+            self._p2l[base : base + self._ppb] = -1
+            self._valid_count[victim] -= valid_lpns.size
             if self._reloc_count is not None:
                 counts = self._reloc_count[valid_lpns]
                 frozen = valid_lpns[counts >= 1]
@@ -435,6 +521,8 @@ class FlashTranslationLayer:
             self.total_gc_pages += int(valid_lpns.size)
         assert self._valid_count[victim] == 0
         self._state[victim] = _FREE
+        if self._victim_index is not None:
+            self._victim_index.reclaim()
         self._erase_count[victim] += 1
         self._free.append(victim)
         work.erases += 1
@@ -458,3 +546,6 @@ class FlashTranslationLayer:
         state_free = set(np.where(self._state == _FREE)[0].tolist())
         assert free_set == state_free, "free list and block states disagree"
         assert int(np.count_nonzero(self._p2l >= 0)) == mapped.size
+        if self._victim_index is not None:
+            self._victim_index.check(self._valid_count, self._state,
+                                     self._closed_seq)

@@ -61,6 +61,25 @@ from repro.flash.gc import GCPolicy
 from repro.flash.smart import SmartAttributes
 
 
+def mean_write_backlog(write_busy: list, now: float) -> float:
+    """Mean seconds of queued write work per channel at time *now*.
+
+    The positive parts of the per-channel horizons are accumulated in
+    channel order (drained channels contribute an exact ``0.0`` and are
+    skipped), then divided by the channel count.  This is **the** one
+    definition of the write backlog: :meth:`ChannelTimeline.backlog`
+    and the engines' stall-replay loops (``lsm/store.py``) all call it,
+    so the device model and the engine heuristics cannot drift by one
+    float ulp.
+    """
+    total = 0.0
+    for b in write_busy:
+        d = b - now
+        if d > 0.0:
+            total += d
+    return total / len(write_busy)
+
+
 class ChannelTimeline:
     """Per-channel busy horizons: the device as a set of FIFO servers.
 
@@ -77,27 +96,74 @@ class ChannelTimeline:
     hold no data in the write cache, so they must never appear in the
     write backlog (a read-heavy workload would otherwise spuriously
     "overwhelm the write cache").
+
+    Running aggregates (DESIGN.md §8) make the per-op queries O(1)
+    between mutations: ``write_max`` / ``busy_max`` are the exact
+    maxima of the two horizon vectors (work only ever extends a
+    horizon, so a single ``max`` per mutation maintains them), and the
+    last ``backlog`` answer is memoized against a mutation epoch.  All
+    query results are bit-identical to recomputing from the vectors —
+    the fast paths only skip work whose outcome is provably an exact
+    ``0.0`` or a repeat of a memoized exact sum.
     """
 
     def __init__(self, nchannels: int, start: float = 0.0):
         self.busy = [float(start)] * nchannels
         self.write_busy = [float(start)] * nchannels
         self.cursor = 0
+        self.write_max = float(start)  # == max(write_busy), maintained
+        self.busy_max = float(start)  # == max(busy), maintained
+        self._epoch = 0  # bumped on every write-horizon mutation
+        self._memo_epoch = -1
+        self._memo_now = 0.0
+        self._memo_backlog = 0.0
 
     def backlog(self, now: float) -> float:
         """Mean seconds of queued *write* work per channel (the
         write-cache drain horizon)."""
-        total = sum(max(0.0, b - now) for b in self.write_busy)
-        return total / len(self.write_busy)
+        if self.write_max <= now:
+            return 0.0  # every term of the sum would be an exact 0.0
+        if self._memo_epoch == self._epoch and self._memo_now == now:
+            return self._memo_backlog
+        value = mean_write_backlog(self.write_busy, now)
+        self._memo_epoch = self._epoch
+        self._memo_now = now
+        self._memo_backlog = value
+        return value
+
+    def backlog_exceeds(self, now: float, threshold: float) -> bool:
+        """Exact ``backlog(now) > threshold`` with an O(1) reject.
+
+        The mean positive part is bounded by the max positive part, so
+        a ``write_max`` within *threshold* of *now* decides the
+        comparison without touching the vector (the SLC fold trigger's
+        common case).
+        """
+        if self.write_max - now <= threshold:
+            return False
+        return self.backlog(now) > threshold
 
     def max_backlog(self, now: float) -> float:
         """Seconds until the most-loaded channel goes idle (any work)."""
-        return max(0.0, max(self.busy) - now)
+        return max(0.0, self.busy_max - now)
 
     def add_write_work(self, channel: int, now: float, seconds: float) -> None:
         """Queue program/erase time on *channel* (both horizons)."""
-        self.busy[channel] = max(self.busy[channel], now) + seconds
-        self.write_busy[channel] = max(self.write_busy[channel], now) + seconds
+        busy = self.busy[channel]
+        if now > busy:
+            busy = now
+        busy += seconds
+        self.busy[channel] = busy
+        if busy > self.busy_max:
+            self.busy_max = busy
+        wbusy = self.write_busy[channel]
+        if now > wbusy:
+            wbusy = now
+        wbusy += seconds
+        self.write_busy[channel] = wbusy
+        if wbusy > self.write_max:
+            self.write_max = wbusy
+        self._epoch += 1
 
     def add_read_work(self, channel: int, now: float, seconds: float) -> float:
         """Queue read service time on *channel*; returns its completion.
@@ -107,12 +173,17 @@ class ChannelTimeline:
         """
         done = max(self.busy[channel], now) + seconds
         self.busy[channel] = done
+        if done > self.busy_max:
+            self.busy_max = done
         return done
 
     def reset(self, now: float) -> None:
         """Consider every channel idle as of *now*."""
         self.busy = [now] * len(self.busy)
         self.write_busy = [now] * len(self.write_busy)
+        self.write_max = now
+        self.busy_max = now
+        self._epoch += 1
 
 
 class SSD:
@@ -138,6 +209,7 @@ class SSD:
         self._host_write_latency = config.write_latency
         self._cache_drain_window = config.cache_drain_window
         self._fold_penalty = config.fold_penalty
+        self._fold_threshold = 1.25 * config.cache_drain_window
         if config.byte_addressable:
             self.ftl = None
             self._mapped = np.zeros(config.logical_pages, dtype=bool)
@@ -365,20 +437,25 @@ class SSD:
             smart.nand_bytes_written += work.host_pages * page_size
 
         now = self.clock.now
+        channels = self._channels
         fold = 1.0
-        if (
-            self._fold_penalty > 1.0
-            and self.backlog_seconds() > 1.25 * self._cache_drain_window
-        ):
+        if self._fold_penalty > 1.0:
             # The SLC cache is overwhelmed: folding into QLC multiplies
             # the effective cost of the incoming writes (§4.7's "large
             # bursty writes overwhelm the cache").  Synchronous writers
             # self-clock at the cache window and never reach this
             # threshold; bursty background writers (LSM flushes and
             # compactions) push far past it and pay the folding cost.
-            fold = self._fold_penalty
-            smart.fold_events += 1
-        if self._channels is not None:
+            # The channel path's trigger check is O(1) unless the
+            # backlog is actually near the threshold.
+            if channels is not None:
+                overwhelmed = channels.backlog_exceeds(now, self._fold_threshold)
+            else:
+                overwhelmed = self._busy_until - now > self._fold_threshold
+            if overwhelmed:
+                fold = self._fold_penalty
+                smart.fold_events += 1
+        if channels is not None:
             self._queue_flash_work(work, fold, now)
             if background:
                 return 0.0
@@ -410,25 +487,67 @@ class SSD:
         block-granularity operation) land on the cursor channel.  The
         cursor rotates past the channels a request touched, so small
         requests spread over the array instead of piling on channel 0.
+
+        ``ChannelTimeline.add_write_work`` is inlined across the loop
+        (same arithmetic term for term) — a method call per channel per
+        device write is the device model's hottest edge — with the
+        running maxima folded in and the mutation epoch bumped once per
+        request.
         """
         cfg = self.config
         channels = self._channels
-        nchannels = len(channels.busy)
+        busy = channels.busy
+        write_busy = channels.write_busy
+        busy_max = channels.busy_max
+        write_max = channels.write_max
+        nchannels = len(busy)
         pages = work.programmed_pages
         if pages:
             base, extra = divmod(pages, nchannels)
             cursor = channels.cursor
+            program_time = cfg.program_time
             for i in range(nchannels):
                 npages_here = base + (1 if i < extra else 0)
                 if npages_here == 0:
                     break
                 c = (cursor + i) % nchannels
-                channels.add_write_work(c, now, npages_here * cfg.program_time * fold)
+                seconds = npages_here * program_time * fold
+                b = busy[c]
+                if now > b:
+                    b = now
+                b += seconds
+                busy[c] = b
+                if b > busy_max:
+                    busy_max = b
+                w = write_busy[c]
+                if now > w:
+                    w = now
+                w += seconds
+                write_busy[c] = w
+                if w > write_max:
+                    write_max = w
             channels.cursor = (cursor + max(extra, min(pages, 1))) % nchannels
         if work.erases:
             c = channels.cursor
-            channels.add_write_work(c, now, work.erases * cfg.erase_time * fold)
+            seconds = work.erases * cfg.erase_time * fold
+            b = busy[c]
+            if now > b:
+                b = now
+            b += seconds
+            busy[c] = b
+            if b > busy_max:
+                busy_max = b
+            w = write_busy[c]
+            if now > w:
+                w = now
+            w += seconds
+            write_busy[c] = w
+            if w > write_max:
+                write_max = w
             channels.cursor = (c + 1) % nchannels
+        channels.busy_max = busy_max
+        channels.write_max = write_max
+        channels._epoch += 1
 
     def _read_channelized(self, start: int, npages: int, nbytes: int) -> float:
         """Latency of a read served by per-channel FIFO queues.
@@ -440,14 +559,28 @@ class SSD:
         """
         cfg = self.config
         channels = self._channels
-        nchannels = len(channels.busy)
+        busy = channels.busy
+        busy_max = channels.busy_max
+        nchannels = len(busy)
         now = self.clock.now
         base, extra = divmod(npages, nchannels)
         first = start % nchannels
+        page_read_time = cfg.page_read_time
         completion = now
+        # add_read_work, inlined per channel (reads touch only the FIFO
+        # occupancy, so no epoch bump — the write-backlog memo and
+        # write_max are untouched by reads, exactly as before).
         for i in range(min(npages, nchannels)):
             c = (first + i) % nchannels
             npages_here = base + (1 if i < extra else 0)
-            done = channels.add_read_work(c, now, npages_here * cfg.page_read_time)
-            completion = max(completion, done)
+            done = busy[c]
+            if now > done:
+                done = now
+            done += npages_here * page_read_time
+            busy[c] = done
+            if done > completion:
+                completion = done
+            if done > busy_max:
+                busy_max = done
+        channels.busy_max = busy_max
         return cfg.read_latency + nbytes / cfg.bus_bytes_per_s + (completion - now)

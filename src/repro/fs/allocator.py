@@ -22,6 +22,7 @@ Three strategies are provided:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import chain
 
 import numpy as np
 
@@ -146,30 +147,41 @@ class ExtentAllocator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _scan_order(self) -> list[int]:
-        """Indices into the free-extent list in allocation-scan order."""
+    def _scatter_pivot(self) -> int:
+        """Size-weighted random extent index (uniform over free pages).
+
+        This inlines ``rng.choice(count, p=weights / weights.sum())``
+        — same arithmetic, same single ``random()`` draw, so the extent
+        stream is bit-identical (pinned by a test) — without choice's
+        per-call validation overhead.
+        """
+        weights = np.array(self._len_list, dtype=np.float64)
+        cdf = (weights / weights.sum()).cumsum()
+        cdf /= cdf[-1]
+        return int(cdf.searchsorted(self._rng.random(), side="right"))
+
+    def _scan_order(self):
+        """Indices into the free-extent list in allocation-scan order.
+
+        Returns a lazy iterable: the callers stop at the first usable
+        extent (for scatter that is the pivot itself), so materializing
+        the whole order — two list builds per allocation — was pure
+        overhead on the flush path (DESIGN.md §8).
+        """
+        count = len(self._starts)
         if self.strategy == "first-fit" or not self._starts:
-            return list(range(len(self._starts)))
+            return range(count)
         if self.strategy == "scatter":
-            # Start from a size-weighted random extent (uniform over free
-            # pages), then continue round-robin so large requests can
-            # gather multiple extents.  This inlines
-            # ``rng.choice(count, p=weights / weights.sum())`` — same
-            # arithmetic, same single ``random()`` draw, so the extent
-            # stream is bit-identical (pinned by a test) — without
-            # choice's per-call validation overhead.
-            count = len(self._starts)
-            weights = np.array(self._len_list, dtype=np.float64)
-            cdf = (weights / weights.sum()).cumsum()
-            cdf /= cdf[-1]
-            pivot = int(cdf.searchsorted(self._rng.random(), side="right"))
-            return list(range(pivot, count)) + list(range(pivot))
+            # Start from the size-weighted pivot, then continue
+            # round-robin so large requests can gather multiple extents.
+            pivot = self._scatter_pivot()
+            return chain(range(pivot, count), range(pivot))
         pivot = bisect_left(self._starts, self._rotor)
         if pivot > 0:
             prev = self._starts[pivot - 1]
             if prev + self._lens[prev] > self._rotor:
                 pivot -= 1  # rotor points inside the previous extent
-        return list(range(pivot, len(self._starts))) + list(range(pivot))
+        return chain(range(pivot, count), range(pivot))
 
     def _alloc_contiguous(self, npages: int) -> Extent:
         for idx in self._scan_order():
@@ -189,6 +201,16 @@ class ExtentAllocator:
         )
 
     def _take_some(self, limit: int) -> Extent:
+        if self.strategy == "scatter" and self._starts:
+            # The pivot extent always has room (its weight is its
+            # size), so the generic scan collapses to one draw + carve.
+            pivot = self._scatter_pivot()
+            start = self._starts[pivot]
+            take = self._len_list[pivot]
+            if take > limit:
+                take = limit
+            self._carve(start, start, take)
+            return (start, take)
         for idx in self._scan_order():
             start = self._starts[idx]
             length = self._lens[start]

@@ -10,9 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class KVStats:
-    """Cumulative per-store operation counters."""
+    """Cumulative per-store operation counters (slotted: every
+    operation of every engine bumps at least two of these)."""
 
     puts: int = 0
     gets: int = 0

@@ -19,6 +19,8 @@ KIND_DELETE = 1
 class MemTable:
     """A mutable buffer of the newest writes, keyed by integer key."""
 
+    __slots__ = ("config", "_entries", "approximate_bytes", "_sorted_cache")
+
     def __init__(self, config: LSMConfig):
         self.config = config
         # key -> (seq, vseed, vlen, kind); a plain dict because each key

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.clock import VirtualClock
 from repro.errors import NoSpaceError, StoreClosedError
+from repro.flash.ssd import mean_write_backlog
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
@@ -74,7 +75,10 @@ class LSMStore(KVStore):
         self._bg_worker = None  # FIFO background-thread resource
         self.inline_takeovers = 0  # write-path flushes forced by pile-up
         self._replay_ssd = None  # memoized device resolution (False = n/a)
-        self._write_consts = None  # cached config constants (frozen config)
+        # Cached batch-write constants per write kind (frozen config +
+        # record geometry for the last-seen vlen; DESIGN.md §8).
+        self._put_consts = None
+        self._del_consts = None
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -183,13 +187,12 @@ class LSMStore(KVStore):
         """
         if not isinstance(vlens, int):
             return KVStore.put_many(self, keys, vseeds, vlens, until, latencies)
-        return self._write_many(keys, vseeds, vlens, until, latencies,
-                                delete=False)
+        return self._write_many(keys, vseeds, vlens, until, latencies, False)
 
     def delete_many(self, keys, until: float | None = None,
                     latencies: list | None = None) -> int:
         """Batched tombstones (see :meth:`put_many`)."""
-        return self._write_many(keys, None, 0, until, latencies, delete=True)
+        return self._write_many(keys, None, 0, until, latencies, True)
 
     def get_many(self, keys, until: float | None = None,
                  latencies: list | None = None) -> int:
@@ -472,28 +475,106 @@ class LSMStore(KVStore):
             return KVStore.put_many(self, keys, vseeds, vlen, until, latencies)
 
         # Per-call setup is hot at queue depth (interleaving cuts
-        # segments down to a few ops), so the config-derived constants
-        # are cached once — the config is frozen.
-        consts = self._write_consts
-        if consts is None:
+        # segments down to a few ops), so everything derivable from the
+        # frozen config *and the call shape* — including the per-record
+        # sizes, which depend only on (delete, vlen) — is cached as one
+        # tuple per write kind and re-derived only when vlen changes.
+        consts = self._del_consts if delete else self._put_consts
+        if consts is None or consts[0] != vlen:
             config = self.config
-            consts = self._write_consts = (
-                config.cpu_overhead, config.backlog_soft_limit,
+            key_bytes = config.key_bytes
+            payload = key_bytes if delete else key_bytes + vlen
+            consts = (
+                vlen, config.cpu_overhead, config.backlog_soft_limit,
                 config.backlog_hard_limit, config.slowdown_factor,
-                config.key_bytes, config.entry_overhead,
-                config.memtable_bytes, config.wal_buffer_bytes,
-                config.wal_entry_overhead, config.l0_stop_files,
+                key_bytes, config.memtable_bytes, config.wal_buffer_bytes,
+                config.l0_stop_files, payload,
+                key_bytes + config.entry_overhead + (0 if delete else vlen),
+                payload + config.wal_entry_overhead,
             )
-        (cpu, soft, hard, slowdown, key_bytes, entry_overhead,
-         memtable_bytes, wal_buffer_bytes, wal_entry_overhead,
-         l0_stop_files) = consts
+            if delete:
+                self._del_consts = consts
+            else:
+                self._put_consts = consts
+        (_, cpu, soft, hard, slowdown, key_bytes, memtable_bytes,
+         wal_buffer_bytes, l0_stop_files, payload, entry_bytes,
+         wal_record) = consts
         clock = self.clock
         stats = self._stats
-        payload = key_bytes if delete else key_bytes + vlen
-        entry_bytes = key_bytes + entry_overhead + (0 if delete else vlen)
-        wal_record = payload + wal_entry_overhead
-        keys_list = as_int_list(keys)
-        seeds_list = None if vseeds is None else as_int_list(vseeds)
+        keys_list = keys if type(keys) is list else as_int_list(keys)
+        seeds_list = None if vseeds is None else (
+            vseeds if type(vseeds) is list else as_int_list(vseeds))
+
+        if n == 1:
+            # Single-op fast path — the shape the batched pool sends
+            # while interleave-bound (DESIGN.md §8): a one-op call
+            # returns after its op no matter what `until` says, so the
+            # live-bound snapshot and the window scaffolding vanish,
+            # and the capacity checks are two comparisons instead of
+            # two divisions.  Arithmetic is the window loop's, term
+            # for term.
+            key = keys_list[0]
+            wal = self.wal
+            memtable = self.memtable
+            if (wal is None or wal._buffered + wal_record < wal_buffer_bytes) \
+                    and memtable.approximate_bytes + entry_bytes < memtable_bytes:
+                capturing = clock._capturing
+                now = clock._step_now if capturing else clock._now
+                l0_stop = len(self.version.levels[0]) >= l0_stop_files
+                channels = ssd._channels
+                if channels is None:
+                    backlog = ssd.scalar_busy_until - now
+                    if backlog < 0.0:
+                        backlog = 0.0
+                else:
+                    backlog = 0.0 if channels.write_max <= now \
+                        else mean_write_backlog(channels.write_busy, now)
+                if backlog > hard or l0_stop:
+                    penalty = max(0.0, backlog - hard)
+                    penalty += (hard - soft) * slowdown
+                elif backlog > soft:
+                    penalty = (backlog - soft) * slowdown
+                else:
+                    penalty = 0.0
+                if penalty != 0.0:
+                    self.stall_seconds += penalty
+                latency = cpu + penalty
+                seq = self._next_seq
+                self._next_seq = seq + 1
+                if delete:
+                    memtable._entries[key] = (seq, 0, 0, KIND_DELETE)
+                    stats.deletes += 1
+                else:
+                    memtable._entries[key] = (seq, seeds_list[0], vlen,
+                                              KIND_PUT)
+                    stats.puts += 1
+                memtable.approximate_bytes += entry_bytes
+                if wal is not None:
+                    wal._buffered += wal_record
+                stats.user_bytes_written += payload
+                now += latency
+                if capturing:
+                    if now > clock._step_now:
+                        clock._step_now = now
+                elif now > clock._now:
+                    clock._now = now
+                if latencies is not None:
+                    latencies.append(latency)
+                return 1
+            # Device-work boundary: the scalar path performs the WAL
+            # write-out / rotation with exact semantics.
+            try:
+                if delete:
+                    latency = self.delete(key)
+                else:
+                    latency = self.put(key, Value(seeds_list[0], vlen))
+            except NoSpaceError as exc:
+                exc.ops_done = 0
+                raise
+            if latencies is not None:
+                latencies.append(latency)
+            return 1
+
         append = None if latencies is None else latencies.append
         done = 0
         try:
@@ -532,7 +613,11 @@ class LSMStore(KVStore):
                 # horizon and the L0 stop condition are constants — and
                 # the replay schedules no events, so a live until proxy
                 # can be snapshotted to a plain float for the window.
-                now = clock.now
+                # The clock read/advance pair inlines the capture
+                # protocol (shared with Scheduler.run; see
+                # VirtualClock.begin_step).
+                capturing = clock._capturing
+                now = clock._step_now if capturing else clock._now
                 if until is None or type(until) is float:
                     bound = until
                 else:
@@ -544,8 +629,8 @@ class LSMStore(KVStore):
                     idle = busy <= now
                 else:
                     write_busy = channels.write_busy
-                    nchannels = len(write_busy)
-                    idle = max(write_busy) <= now
+                    wmax = channels.write_max  # exact max(write_busy)
+                    idle = wmax <= now
                 took = 0
                 if idle and not l0_stop:
                     # Zero backlog stays zero: per-op latency is the
@@ -586,18 +671,16 @@ class LSMStore(KVStore):
                     self.stall_seconds = stall
                 else:
                     # Channel mode: the stall input is the mean
-                    # per-channel write backlog (ChannelTimeline.
-                    # backlog), summed in channel order exactly like
-                    # the scalar call chain — skipped drained channels
-                    # contribute an exact 0.0.
+                    # per-channel write backlog — the *same function*
+                    # the device model uses (mean_write_backlog, shared
+                    # with ChannelTimeline.backlog), so the two cannot
+                    # drift.  Once the replay clock passes the max
+                    # horizon every remaining term is an exact 0.0 and
+                    # the sum is skipped outright.
                     stall = self.stall_seconds
                     for _ in range(cap):
-                        total = 0.0
-                        for b in write_busy:
-                            d = b - now
-                            if d > 0.0:
-                                total += d
-                        backlog = total / nchannels
+                        backlog = 0.0 if now >= wmax \
+                            else mean_write_backlog(write_busy, now)
                         if backlog > hard or l0_stop:
                             penalty = max(0.0, backlog - hard)
                             penalty += (hard - soft) * slowdown
@@ -641,7 +724,14 @@ class LSMStore(KVStore):
                 if wal is not None:
                     wal._buffered += took * wal_record  # bulk_append, inlined
                 stats.user_bytes_written += took * payload
-                clock.advance_to(now)
+                # clock.advance_to(now), inlined: `now` only grew from
+                # the value read above, so the past-time guard is the
+                # same comparison.
+                if capturing:
+                    if now > clock._step_now:
+                        clock._step_now = now
+                elif now > clock._now:
+                    clock._now = now
                 done += took
                 # `now` is the clock after advance_to, so the boundary
                 # check can reuse the local instead of re-reading it.

@@ -16,6 +16,8 @@ from repro.lsm.config import LSMConfig
 class WriteAheadLog:
     """A size-buffered append-only log over the simulated filesystem."""
 
+    __slots__ = ("fs", "config", "log_id", "_buffered")
+
     def __init__(self, fs: ExtentFilesystem, config: LSMConfig, log_id: int):
         self.fs = fs
         self.config = config

@@ -68,13 +68,15 @@ from repro.workload.runner import CHECK_EVERY, issue_one_op, validate_sampling
 from repro.workload.spec import WorkloadSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class PoolOutcome:
     """What happened during a (partial) multi-client run.
 
     Duck-compatible with :class:`repro.workload.runner.RunOutcome`
     (``ops_issued`` / ``out_of_space`` / ``load_seconds``) so the
-    experiment layer treats both drivers uniformly.
+    experiment layer treats both drivers uniformly.  Slotted: the
+    shared op counter is read and written on every batch segment of
+    every client.
     """
 
     ops_issued: int = 0
@@ -187,20 +189,31 @@ class ClientPool:
         vlen = spec.value_bytes
         scan_length = spec.scan_length
         max_ops = self.max_ops
+        stop_when = self.stop_when
+        check_every = CHECK_EVERY
         version = 1
         runs: list = []
         run_idx = 0
         cur_kind = 0
         cur_keys = None
         cur_seeds = None
+        cur_len = 0
         offset = 0
+        # Adaptive segment size (DESIGN.md §8): while interleave-bound
+        # (we just yielded because another event was due) the next call
+        # will be stopped after one op anyway, so a 1-op segment takes
+        # the engines' single-op fast path; the moment a call ends with
+        # no event due, the full segment size returns.  Only the call
+        # granularity changes — the op stream and timing are governed
+        # by `until` either way.
+        seg = segment_cap
         while True:
             if self._stop:
                 break
             issued = outcome.ops_issued
             if max_ops is not None and issued >= max_ops:
                 break
-            if issued % CHECK_EVERY == 0 and self.stop_when():
+            if issued % check_every == 0 and stop_when():
                 self._stop = True
                 break
             if cur_keys is None:
@@ -214,6 +227,7 @@ class ClientPool:
                 # list slices are cheaper than numpy views for the
                 # short segments queue-depth interleaving produces.
                 cur_keys = run.keys.tolist()
+                cur_len = len(cur_keys)
                 cur_seeds = update_seeds(run.keys, version).tolist() \
                     if cur_kind == UPDATE else None
                 offset = 0
@@ -221,28 +235,30 @@ class ClientPool:
             # *global* op count (where stop_when must be evaluated) and
             # at the pool-wide op budget; `until` handles the sampling
             # boundary and event interleaving per op.
-            cap = CHECK_EVERY - issued % CHECK_EVERY
-            if cap > segment_cap:
-                cap = segment_cap
+            cap = check_every - issued % check_every
+            if cap > seg:
+                cap = seg
             if max_ops is not None and max_ops - issued < cap:
                 cap = max_ops - issued
-            end = min(offset + cap, len(cur_keys))
+            end = offset + cap
+            if end > cur_len:
+                end = cur_len
             until.cap = self._next_sample
             try:
+                # All-positional calls: the segment re-issue rate under
+                # queue depth makes even keyword-argument binding show
+                # up on the profile.
                 if cur_kind == UPDATE:
                     took = put_many(cur_keys[offset:end],
-                                    cur_seeds[offset:end], vlen,
-                                    until=until, latencies=sink)
+                                    cur_seeds[offset:end], vlen, until, sink)
                     version += took
                 elif cur_kind == READ:
-                    took = get_many(cur_keys[offset:end],
-                                    until=until, latencies=sink)
+                    took = get_many(cur_keys[offset:end], until, sink)
                 elif cur_kind == SCAN:
                     took = scan_many(cur_keys[offset:end], scan_length,
-                                     until=until, latencies=sink)
+                                     until, sink)
                 else:  # DELETE
-                    took = delete_many(cur_keys[offset:end],
-                                       until=until, latencies=sink)
+                    took = delete_many(cur_keys[offset:end], until, sink)
             except NoSpaceError as exc:
                 done = getattr(exc, "ops_done", 0)
                 outcome.ops_issued += done
@@ -253,21 +269,30 @@ class ClientPool:
             outcome.ops_issued += took
             per_client[client_id] += took
             offset += took
-            if offset >= len(cur_keys):
+            if offset >= cur_len:
                 cur_keys = None
-            now = clock.now
+            # Client tasks always run inside an event step, so the
+            # capture-mode step time *is* clock.now — read it without
+            # the property dispatch (the capture protocol is shared
+            # with Scheduler.run; see VirtualClock.begin_step).
+            now = clock._step_now
             if self._next_sample is not None and now >= self._next_sample:
                 self._maybe_sample(clock)
+            seg = segment_cap
             if heap:
-                # Inline next_time() for the common non-cancelled head.
+                # Inline next_time() for the common live head (heap
+                # entries are (time, seq, fn, event-or-None) tuples;
+                # task resumes carry no cancellable handle).
                 head = heap[0]
-                due = head.time <= now if not head.cancelled \
+                ev = head[3]
+                due = head[0] <= now if ev is None or not ev.cancelled \
                     else next_time() <= now
                 if due:
                     # Another task's event is due (or an op scheduled
                     # background work): suspend until this operation's
                     # completion time, exactly where the scalar client
                     # would have yielded.
+                    seg = 1
                     yield 0.0
         # Anchor the client's completion on the timeline: step-local
         # time is discarded when a task returns, so end with one no-op

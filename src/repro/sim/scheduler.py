@@ -46,7 +46,19 @@ class TraceEntry:
 
 
 class _Event:
-    """A heap entry; ``cancelled`` entries are skipped when popped."""
+    """A scheduled event; ``cancelled`` events are skipped when popped.
+
+    Heap entries are ``(time, seq, fn, event-or-None)`` tuples rather
+    than the events themselves (DESIGN.md §8): tuple comparison runs
+    entirely in C and never reaches the callable (``seq`` is unique),
+    where an ``__lt__`` method would pay a Python dispatch on every
+    sift step of every push/pop.  An :class:`_Event` — the handle
+    carrying the label and the ``cancelled`` flag — rides along only
+    for :meth:`Scheduler.schedule`/:meth:`~Scheduler.schedule_at`
+    callers (who may cancel) and in trace mode (which needs labels);
+    the per-operation task-step path pushes ``None`` instead and skips
+    the allocation entirely.
+    """
 
     __slots__ = ("time", "seq", "fn", "label", "cancelled")
 
@@ -57,9 +69,6 @@ class _Event:
         self.label = label
         self.cancelled = False
 
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
 
 class Task:
     """A cooperative task: a generator stepped by the scheduler."""
@@ -67,20 +76,36 @@ class Task:
     def __init__(self, scheduler: "Scheduler", gen: Generator, label: str):
         self._scheduler = scheduler
         self._gen = gen
+        self._send = gen.send  # bound once: called every step
         self.label = label
         self.done = False
         self.result = None
+        self._bound_step = self._step  # one bound-method alloc, reused
 
     def _step(self, send_value=None) -> None:
         """Run the generator to its next suspension point."""
         try:
-            yielded = self._gen.send(send_value)
+            yielded = self._send(send_value)
         except StopIteration as stop:
             self.done = True
             self.result = stop.value
             return
-        if type(yielded) is float:  # the per-operation hot path
-            self._scheduler.schedule(yielded, self._step, label=self.label)
+        if type(yielded) is float and yielded >= 0.0:
+            # The per-operation hot path: Scheduler.schedule inlined
+            # (clock read, heap push) — its negative-delay validation
+            # is the guard above, the follow-up reuses this task's one
+            # bound step, and no _Event handle is allocated (nothing
+            # ever cancels a task's own resume).  Trace mode takes the
+            # full schedule() path so labels keep flowing.
+            scheduler = self._scheduler
+            if scheduler.trace is None:
+                clock = scheduler.clock
+                now = clock._step_now if clock._capturing else clock._now
+                heapq.heappush(scheduler._heap,
+                               (now + yielded, next(scheduler._seq),
+                                self._bound_step, None))
+            else:
+                scheduler.schedule(yielded, self._bound_step, label=self.label)
         else:
             self._suspend(yielded)
 
@@ -125,8 +150,10 @@ class Scheduler:
         # schedule_at, inlined minus its past-time validation: now + a
         # non-negative delay can never be in the past, and this is the
         # per-operation path of every client task.
-        event = _Event(self.clock.now + delay, next(self._seq), fn, label)
-        heapq.heappush(self._heap, event)
+        time = self.clock.now + delay
+        seq = next(self._seq)
+        event = _Event(time, seq, fn, label)
+        heapq.heappush(self._heap, (time, seq, fn, event))
         return event
 
     def schedule_at(self, time: float, fn: Callable[[], None],
@@ -136,8 +163,9 @@ class Scheduler:
             raise ConfigError(
                 f"cannot schedule at {time!r}, before current time {self.clock.now!r}"
             )
-        event = _Event(time, next(self._seq), fn, label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = _Event(time, seq, fn, label)
+        heapq.heappush(self._heap, (time, seq, fn, event))
         return event
 
     def spawn(self, gen: Generator, label: str = "task",
@@ -151,8 +179,8 @@ class Scheduler:
         """Run the earliest pending event; False when none remain."""
         clock = self.clock
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+            time, seq, fn, event = heapq.heappop(self._heap)
+            if event is not None and event.cancelled:
                 continue
             # begin_step/end_step, inlined: this is the per-event hot
             # path and the single-threaded loop cannot nest steps, so
@@ -160,27 +188,60 @@ class Scheduler:
             # VirtualClock's capture protocol field for field — any
             # change to the clock's representation must update both
             # (a matching note sits on VirtualClock.begin_step).
-            if event.time > clock._now:
-                clock._now = event.time
+            if time > clock._now:
+                clock._now = time
             clock._step_now = clock._now
             clock._capturing = True
             try:
-                event.fn()
+                fn()
             finally:
                 clock._step_now = clock._now
                 clock._capturing = False
             self.events_run += 1
             if self.trace is not None:
-                self.trace.append(TraceEntry(event.time, event.seq, event.label))
+                # In trace mode every entry carries its _Event handle
+                # (Task._step falls back to schedule() there).
+                self.trace.append(TraceEntry(time, seq, event.label))
             return True
         return False
 
     def run(self, until: Callable[[], bool] | None = None) -> None:
         """Run events in order until the heap drains (or *until* holds)."""
-        while self._heap:
-            if until is not None and until():
-                break
-            self.step()
+        if until is not None:
+            while self._heap:
+                if until():
+                    break
+                self.step()
+            return
+        # The drain-everything form is the multi-client driver's main
+        # loop: one iteration per event, so Scheduler.step is inlined
+        # with the heap/clock/trace lookups hoisted out of the loop.
+        # The try/finally keeps events_run honest when an event raises
+        # (the pool turns NoSpaceError into a reported outcome).
+        clock = self.clock
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self.trace
+        ran = 0
+        try:
+            while heap:
+                time, seq, fn, event = pop(heap)
+                if event is not None and event.cancelled:
+                    continue
+                if time > clock._now:
+                    clock._now = time
+                clock._step_now = clock._now
+                clock._capturing = True
+                try:
+                    fn()
+                finally:
+                    clock._step_now = clock._now
+                    clock._capturing = False
+                ran += 1
+                if trace is not None:
+                    trace.append(TraceEntry(time, seq, event.label))
+        finally:
+            self.events_run += ran
 
     def next_time(self) -> float:
         """Virtual time of the earliest pending event (inf when idle).
@@ -198,15 +259,20 @@ class Scheduler:
         if not heap:
             return math.inf
         head = heap[0]
-        if not head.cancelled:  # the hot path: one attribute probe
-            return head.time
-        while heap and heap[0].cancelled:
+        event = head[3]
+        if event is None or not event.cancelled:  # the hot path
+            return head[0]
+        while heap:
+            event = heap[0][3]
+            if event is None or not event.cancelled:
+                break
             heapq.heappop(heap)
-        return heap[0].time if heap else math.inf
+        return heap[0][0] if heap else math.inf
 
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _t, _s, _f, event in self._heap
+                   if event is None or not event.cancelled)
 
     def trace_labels(self) -> Iterator[str]:
         """Labels of executed events, in execution order (trace mode)."""

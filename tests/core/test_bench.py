@@ -1,0 +1,47 @@
+"""The bench grid and profiler entry points (DESIGN.md §6, §8)."""
+
+from __future__ import annotations
+
+from repro.bench import CELLS, POOL16_CLIENTS, bench_case, profile_case
+from repro.cli import main
+from repro.core.experiment import Engine
+from repro.core.figures import SCALES
+
+
+def test_bench_grid_covers_both_pooled_depths():
+    nclients = [cell[1] for cell in CELLS]
+    assert 4 in nclients
+    assert POOL16_CLIENTS in nclients
+    for _name, n, overrides in CELLS:
+        assert isinstance(overrides, dict)
+        assert n >= 1
+
+
+def test_pool16_cell_batched_matches_scalar_fingerprint():
+    """The 16-client cell obeys the same equivalence contract the
+    perf-smoke job enforces: identical sim fingerprints (including
+    pooled latency percentiles and per-client ops) across drivers."""
+    batched = bench_case(Engine.LSM, SCALES["small"], batch=True,
+                         nclients=POOL16_CLIENTS)
+    scalar = bench_case(Engine.LSM, SCALES["small"], batch=False,
+                        nclients=POOL16_CLIENTS)
+    assert batched["name"] == "fig2-update-pool16-lsm"
+    assert batched["sim"] == scalar["sim"]
+    assert batched["sim"]["per_client_ops"] and \
+        len(batched["sim"]["per_client_ops"]) == POOL16_CLIENTS
+
+
+def test_profile_case_reports_hot_spots():
+    table = profile_case(Engine.LSM, "small", nclients=4, top=5,
+                         sort="tottime")
+    assert "fig2-update-pool4-lsm" in table
+    assert "ncalls" in table  # the pstats table rendered
+
+
+def test_profile_cli_smoke(capsys, tmp_path):
+    out_path = tmp_path / "profile.txt"
+    assert main(["profile", "--engine", "btree", "--scale", "small",
+                 "--top", "3", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig2-update-btree" in out
+    assert out_path.read_text().startswith("profile of fig2-update-btree")

@@ -1,0 +1,90 @@
+"""ChannelTimeline's running aggregates vs recompute-from-scratch.
+
+The timeline answers ``backlog`` / ``max_backlog`` / ``backlog_exceeds``
+through running maxima and a mutation-epoch memo (DESIGN.md §8).  Every
+fast path must be *exactly* the value a from-scratch recomputation over
+the horizon vectors yields — these tests drive randomized mutation /
+query interleavings and compare against the naive oracle with ``==``
+(no tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.ssd import ChannelTimeline, mean_write_backlog
+from repro.rng import substream
+
+
+def oracle_backlog(timeline: ChannelTimeline, now: float) -> float:
+    total = 0.0
+    for b in timeline.write_busy:
+        d = b - now
+        if d > 0.0:
+            total += d
+    return total / len(timeline.write_busy)
+
+
+def oracle_max_backlog(timeline: ChannelTimeline, now: float) -> float:
+    return max(0.0, max(timeline.busy) - now)
+
+
+@pytest.mark.parametrize("nchannels", [1, 3, 8, 16])
+def test_randomized_mutations_match_oracle(nchannels):
+    rng = substream(13, f"channels-{nchannels}")
+    timeline = ChannelTimeline(nchannels, start=0.0)
+    now = 0.0
+    for step in range(800):
+        roll = rng.random()
+        if roll < 0.40:
+            channel = int(rng.integers(0, nchannels))
+            timeline.add_write_work(channel, now, float(rng.random()) * 1e-3)
+        elif roll < 0.70:
+            channel = int(rng.integers(0, nchannels))
+            timeline.add_read_work(channel, now, float(rng.random()) * 1e-3)
+        elif roll < 0.95:
+            now += float(rng.random()) * 2e-3  # drain a little
+        else:
+            timeline.reset(now)
+        # Aggregates answer exactly like the naive scan, at every step.
+        assert timeline.backlog(now) == oracle_backlog(timeline, now)
+        assert timeline.max_backlog(now) == oracle_max_backlog(timeline, now)
+        assert timeline.write_max == max(timeline.write_busy)
+        assert timeline.busy_max == max(timeline.busy)
+        threshold = float(rng.random()) * 2e-3
+        assert timeline.backlog_exceeds(now, threshold) == \
+            (oracle_backlog(timeline, now) > threshold)
+
+
+def test_memoized_backlog_is_invalidated_by_mutation():
+    timeline = ChannelTimeline(4, start=0.0)
+    timeline.add_write_work(0, 0.0, 0.004)
+    now = 0.001
+    first = timeline.backlog(now)
+    assert timeline.backlog(now) == first  # memo hit, same value
+    timeline.add_write_work(1, now, 0.008)
+    assert timeline.backlog(now) == oracle_backlog(timeline, now)
+    timeline.reset(now)
+    assert timeline.backlog(now) == 0.0
+
+
+def test_drained_timeline_short_circuits_to_exact_zero():
+    timeline = ChannelTimeline(8, start=0.0)
+    timeline.add_write_work(2, 0.0, 0.002)
+    assert timeline.backlog(10.0) == 0.0
+    assert timeline.max_backlog(10.0) == 0.0
+    assert not timeline.backlog_exceeds(10.0, 0.0)
+
+
+def test_mean_write_backlog_is_the_shared_definition():
+    """The module helper *is* ChannelTimeline.backlog's slow path — the
+    engines' stall loops import it, so the two cannot drift."""
+    timeline = ChannelTimeline(5, start=0.0)
+    rng = substream(17, "shared-helper")
+    for _ in range(50):
+        timeline.add_write_work(int(rng.integers(0, 5)), 0.0,
+                                float(rng.random()) * 1e-3)
+    for now in np.linspace(0.0, 0.03, 23).tolist():
+        assert timeline.backlog(now) == \
+            mean_write_backlog(timeline.write_busy, now)

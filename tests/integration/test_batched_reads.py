@@ -11,6 +11,8 @@ interleaved writes that invalidate the reuse cursors.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 import pytest
 
@@ -33,7 +35,7 @@ def twin_stores(engine: str, nkeys: int = 300, value_bytes: int = 120):
 
 def assert_twins_equal(a, ssd_a, b, ssd_b):
     assert a.clock.now == b.clock.now
-    assert vars(a.stats.snapshot()) == vars(b.stats.snapshot())
+    assert asdict(a.stats.snapshot()) == asdict(b.stats.snapshot())
     assert ssd_a.smart.as_dict() == ssd_b.smart.as_dict()
 
 
@@ -144,5 +146,5 @@ def test_lsm_bulk_and_lazy_probe_paths_agree():
     assert a.get_many(keys) == len(keys)  # bulk pre-planned
     assert b.get_many(keys, until=NeverUntil()) == len(keys)  # lazy
     assert a.clock.now == b.clock.now
-    assert vars(a.stats.snapshot()) == vars(b.stats.snapshot())
+    assert asdict(a.stats.snapshot()) == asdict(b.stats.snapshot())
     assert ssd_a.smart.as_dict() == ssd_b.smart.as_dict()

@@ -11,6 +11,8 @@ latency series, and sample series.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import json
 
 import pytest
@@ -63,7 +65,7 @@ class TestPoolEquivalence:
         assert batched.per_client_ops == scalar.per_client_ops
         assert clock_b.now == clock_a.now  # bit-identical, not approx
         assert ssd_b.smart.as_dict() == ssd_a.smart.as_dict()
-        assert vars(store_b.stats.snapshot()) == vars(store_a.stats.snapshot())
+        assert asdict(store_b.stats.snapshot()) == asdict(store_a.stats.snapshot())
         # Latency series, not just percentiles: every op's latency in
         # completion order, per client.
         for client in range(nclients):
@@ -110,7 +112,7 @@ class TestSeedCompatibilityBatched:
         assert batched.ops_issued == legacy.ops_issued
         assert clock_b.now == clock_a.now
         assert ssd_b.smart.as_dict() == ssd_a.smart.as_dict()
-        assert vars(store_b.stats.snapshot()) == vars(store_a.stats.snapshot())
+        assert asdict(store_b.stats.snapshot()) == asdict(store_a.stats.snapshot())
 
     def test_driver_pool_spec_field(self):
         """driver='pool' routes a 1-client experiment through the pool

@@ -8,6 +8,8 @@ both engines and every distribution.  These tests pin that contract.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 import pytest
 
@@ -46,7 +48,7 @@ def state_fingerprint(store, ssd, ticks):
     return {
         "clock": store.clock.now,
         "smart": ssd.smart.as_dict(),
-        "stats": vars(store.stats.snapshot()),
+        "stats": asdict(store.stats.snapshot()),
         "disk": store.disk_bytes_used,
         "ticks": list(ticks),
     }
@@ -200,7 +202,7 @@ class TestBatchApiDirect:
         assert b.get_many(np.arange(50, dtype=np.int64)) == 50
         assert b.delete_many(np.arange(30, dtype=np.int64)) == 30
         assert a.clock.now == b.clock.now
-        assert vars(a.stats.snapshot()) == vars(b.stats.snapshot())
+        assert asdict(a.stats.snapshot()) == asdict(b.stats.snapshot())
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_per_op_vlens_fall_back_to_generic_loop(self, engine):
@@ -218,4 +220,4 @@ class TestBatchApiDirect:
         # value_for's formula, so the streams coincide.
         assert b.put_many(keys, seeds, vlens) == 40
         assert a.clock.now == b.clock.now
-        assert vars(a.stats.snapshot()) == vars(b.stats.snapshot())
+        assert asdict(a.stats.snapshot()) == asdict(b.stats.snapshot())
