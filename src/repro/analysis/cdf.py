@@ -12,11 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 
-def write_probability_cdf(histogram: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """(x, y) of the Fig-4 CDF.
+def _probability_cdf(histogram: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(x, y) of a Fig-4-style access CDF.
 
-    ``x`` is the fraction of the LBA space (sorted by decreasing write
-    count), ``y`` the cumulative fraction of all writes landing there.
+    ``x`` is the fraction of the LBA space (sorted by decreasing access
+    count), ``y`` the cumulative fraction of all accesses landing there.
     """
     hist = np.asarray(histogram, dtype=np.float64)
     total = hist.sum()
@@ -27,6 +27,21 @@ def write_probability_cdf(histogram: np.ndarray) -> tuple[np.ndarray, np.ndarray
     ordered = np.sort(hist)[::-1]
     y = np.cumsum(ordered) / total
     return x, y
+
+
+def write_probability_cdf(histogram: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The Fig-4 CDF over a per-LBA *write* histogram."""
+    return _probability_cdf(histogram)
+
+
+def read_probability_cdf(histogram: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The same CDF over a per-LBA *read* histogram.
+
+    Takes :attr:`repro.block.blktrace.BlkTrace.read_histogram`; the
+    curve answers "what fraction of reads hits what fraction of the
+    address space" — flat-then-saturating for skewed read mixes.
+    """
+    return _probability_cdf(histogram)
 
 
 def coverage_fraction(histogram: np.ndarray) -> float:

@@ -49,6 +49,7 @@ from repro.core.experiment import Engine, build_stack
 from repro.core.figures import SCALES, Scale, spec_for
 from repro.core.metrics import MetricsCollector
 from repro.core.report import render_table
+from repro.obs.tracer import NULL_TRACER, Tracer, attach_tracer
 from repro.sim.clients import ClientPool
 from repro.workload.runner import load_sequential, run_workload
 
@@ -75,7 +76,7 @@ WORKLOADS: dict[str, dict] = {
 
 def bench_case(engine: Engine, scale: Scale, batch: bool = True,
                workload_name: str = "update", nclients: int = 1,
-               **overrides) -> dict[str, Any]:
+               tracer=None, **overrides) -> dict[str, Any]:
     """Run one bench cell for one engine; returns the record.
 
     Mirrors :func:`repro.core.experiment.run_experiment`'s phases but
@@ -84,11 +85,14 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
     :class:`~repro.sim.clients.ClientPool` (``batch`` selects its
     batched or scalar client); the load phase is always batched — it
     is identical under both drivers and not part of the comparison.
+    ``tracer`` attaches a flight recorder to the stack, enabled for
+    the measured phase (used by :func:`measure_trace_overhead`).
     """
     spec = spec_for(scale, engine, **overrides)
     if nclients > 1:
         spec = replace(spec, nclients=nclients)
     clock, ssd, _device, _partition, fs, store, iostat, _trace = build_stack(spec)
+    attach_tracer(tracer, clock=clock, ssd=ssd, store=store)
     workload = spec.workload()
     collector = MetricsCollector(
         clock=clock, ssd=ssd, iostat=iostat, fs=fs, store=store,
@@ -99,6 +103,8 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
     wall_loaded = time.perf_counter()
     ssd.drain()
     collector.start_measurement()
+    if tracer is not None:
+        tracer.enable()
     target = int(spec.duration_capacity_writes * spec.capacity_bytes)
     run_clock_start = clock.now
     stop_when = lambda: collector.host_bytes_written() >= target  # noqa: E731
@@ -108,6 +114,7 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
             store, workload, nclients, seed=spec.seed, stop_when=stop_when,
             sample_interval=spec.sample_interval, on_sample=collector.sample,
             ssd=ssd, batch=batch,
+            tracer=tracer if tracer is not None else NULL_TRACER,
         )
         outcome = pool.run()
     else:
@@ -220,6 +227,53 @@ def run_suite(scale_name: str, repeat: int = 2) -> dict[str, Any]:
     return {"scale": scale_name, "cases": cases}
 
 
+def measure_trace_overhead(scale_name: str = "small",
+                           repeat: int = 2) -> dict[str, Any]:
+    """Tracer-off vs tracer-on wall cost of one pooled LSM cell.
+
+    Runs the 4-client update cell with no tracer and with a full
+    flight recorder (ring sink), best-of-``repeat`` on both sides, and
+    asserts the sim fingerprints are identical — tracing must observe,
+    never perturb.  The overhead fraction is machine-independent-ish
+    (same process, back to back) and is recorded in the bench report
+    so the zero-overhead-when-off claim stays an measured number
+    rather than a comment.
+    """
+    scale = SCALES[scale_name]
+    off: dict[str, Any] | None = None
+    on: dict[str, Any] | None = None
+    events = 0
+    for _ in range(max(1, repeat)):
+        record = bench_case(Engine.LSM, scale, batch=True,
+                            nclients=POOL_CLIENTS, **WORKLOADS["update"])
+        if off is None or (record["wall"]["run_seconds"]
+                           < off["wall"]["run_seconds"]):
+            off = record
+        tracer = Tracer()
+        record = bench_case(Engine.LSM, scale, batch=True,
+                            nclients=POOL_CLIENTS, tracer=tracer,
+                            **WORKLOADS["update"])
+        events = sum(1 for _ in tracer.events())
+        tracer.close()
+        if on is None or (record["wall"]["run_seconds"]
+                          < on["wall"]["run_seconds"]):
+            on = record
+    if off["sim"] != on["sim"]:
+        raise AssertionError(
+            f"tracing changed the simulation: {off['sim']} != {on['sim']}"
+        )
+    off_s = off["wall"]["run_seconds"]
+    on_s = on["wall"]["run_seconds"]
+    return {
+        "cell": off["name"],
+        "scale": scale_name,
+        "off_run_seconds": off_s,
+        "on_run_seconds": on_s,
+        "overhead_fraction": on_s / max(off_s, 1e-9) - 1.0,
+        "events": events,
+    }
+
+
 def run_bench(smoke: bool = False, repeat: int = 2) -> dict[str, Any]:
     """Produce the full benchmark report (the BENCH_throughput payload).
 
@@ -230,7 +284,14 @@ def run_bench(smoke: bool = False, repeat: int = 2) -> dict[str, Any]:
     suites = {"smoke": run_suite("small", repeat=repeat)}
     if not smoke:
         suites["default"] = run_suite("default", repeat=repeat)
-    return {"schema": SCHEMA_VERSION, "workload": "fig2-cells", "suites": suites}
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": "fig2-cells",
+        "suites": suites,
+        # Additive key: absent from older baselines, ignored by
+        # check_regression (wall overhead is machine-dependent).
+        "trace_overhead": measure_trace_overhead("small", repeat=repeat),
+    }
 
 
 def profile_case(engine: Engine, scale_name: str, workload_name: str = "update",
@@ -355,6 +416,15 @@ def render_bench(report: dict[str, Any]) -> str:
             title=f"bench[{suite_name}] {report['workload']} "
                   f"(scale {suite['scale']})",
         ))
+    overhead = report.get("trace_overhead")
+    if overhead:
+        sections.append(
+            f"trace overhead [{overhead['cell']}]: "
+            f"off {overhead['off_run_seconds']:.3f}s, "
+            f"on {overhead['on_run_seconds']:.3f}s "
+            f"(+{overhead['overhead_fraction'] * 100.0:.1f}%, "
+            f"{overhead['events']:,} events)"
+        )
     return "\n\n".join(sections)
 
 

@@ -23,8 +23,8 @@ class BlockObserver(Protocol):
     def on_write(self, t: float, start: int, npages: int, lpns: np.ndarray | None) -> None:
         """Called for every write request (either a range or a page list)."""
 
-    def on_read(self, t: float, npages: int) -> None:
-        """Called for every read request."""
+    def on_read(self, t: float, start: int, npages: int) -> None:
+        """Called for every read request (always a consecutive range)."""
 
 
 class BlockDevice:
@@ -88,7 +88,7 @@ class BlockDevice:
         t = self._clock.now
         latency = self.ssd.read_range(start, npages)
         for observer in self._observers:
-            observer.on_read(t, npages)
+            observer.on_read(t, start, npages)
         return latency
 
     def trim_range(self, start: int, npages: int) -> None:

@@ -30,7 +30,7 @@ class IOStat:
         self._write_bins[int(t / self.bin_seconds)] += nbytes
         self.total_bytes_written += nbytes
 
-    def on_read(self, t: float, npages: int) -> None:
+    def on_read(self, t: float, start: int, npages: int) -> None:
         nbytes = npages * self.page_size
         self._read_bins[int(t / self.bin_seconds)] += nbytes
         self.total_bytes_read += nbytes

@@ -28,6 +28,7 @@ from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
 from repro.kv.values import Value
+from repro.obs.tracer import NULL_TRACER
 
 
 class BTreeStore(KVStore):
@@ -64,6 +65,7 @@ class BTreeStore(KVStore):
         #: also makes stale pointers safe: only empty leaves are ever
         #: unlinked, and an empty leaf never passes the bounds test.
         self._read_cursor: LeafNode | None = None
+        self.tracer = NULL_TRACER  # flight recorder (repro.obs)
         if self.config.journal_enabled:
             fs.create(self.JOURNAL_FILE)
             fs.reserve(self.JOURNAL_FILE, self.config.journal_ring_bytes)
@@ -78,6 +80,11 @@ class BTreeStore(KVStore):
     def put(self, key: int, value: Value) -> float:
         """Insert or update a key."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         leaf, path = self._descend(key)
         latency += self._make_resident(leaf)
@@ -91,12 +98,19 @@ class BTreeStore(KVStore):
         self._stats.puts += 1
         self._stats.user_bytes_written += self.config.key_bytes + value.length
         self._maybe_checkpoint()
+        if tr_on:
+            tracer.op_end("update", t0, latency)
         self.clock.advance(latency)
         return latency
 
     def get(self, key: int) -> tuple[float, Value | None]:
         """Point lookup."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         leaf, _path = self._descend(key)
         latency += self._make_resident(leaf)
@@ -107,12 +121,19 @@ class BTreeStore(KVStore):
             self._stats.user_bytes_read += self.config.key_bytes + value.length
         self._stats.gets += 1
         self._maybe_checkpoint()
+        if tr_on:
+            tracer.op_end("read", t0, latency)
         self.clock.advance(latency)
         return latency, value
 
     def delete(self, key: int) -> float:
         """Remove a key if present."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         leaf, path = self._descend(key)
         latency += self._make_resident(leaf)
@@ -125,12 +146,19 @@ class BTreeStore(KVStore):
         self._stats.deletes += 1
         self._stats.user_bytes_written += self.config.key_bytes
         self._maybe_checkpoint()
+        if tr_on:
+            tracer.op_end("delete", t0, latency)
         self.clock.advance(latency)
         return latency
 
     def scan(self, start_key: int, count: int) -> tuple[float, list[tuple[int, Value]]]:
         """Ordered range scan over the leaf chain."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         leaf, _path = self._descend(start_key)
         results: list[tuple[int, Value]] = []
@@ -145,6 +173,8 @@ class BTreeStore(KVStore):
                     break
             leaf = leaf.next_leaf
         self._stats.scans += 1
+        if tr_on:
+            tracer.op_end("scan", t0, latency)
         self.clock.advance(latency)
         return latency, results
 
@@ -200,6 +230,8 @@ class BTreeStore(KVStore):
         checkpoint_log_bytes = config.checkpoint_log_bytes
         touch = self.cache.touch
         append = None if latencies is None else latencies.append
+        tracer = self.tracer
+        tr_on = tracer.enabled
         leaf = None
         done = 0
         # Local mirror of the clock: the engine only advances time at
@@ -209,6 +241,8 @@ class BTreeStore(KVStore):
         try:
             for i in range(n):
                 key = keys_list[i]
+                if tr_on:
+                    tracer.op_begin()
                 latency = cpu
                 path: list | None = None
                 update_idx = -1
@@ -247,6 +281,8 @@ class BTreeStore(KVStore):
                 if leaf.nbytes > page_bytes:
                     latency += self._split_leaf(leaf, path, appending)
                 if journal:
+                    if tr_on:
+                        jbase = latency
                     self.journal_bytes += record_bytes
                     self._journal_since_checkpoint += record_bytes
                     start = self._journal_offset
@@ -264,11 +300,16 @@ class BTreeStore(KVStore):
                     else:
                         latency += pwrite(self.JOURNAL_FILE, start, record_bytes)
                     self._journal_offset = (start + record_bytes) % ring
+                    if tr_on and latency > jbase:
+                        tracer.span("journal_append", "btree", now,
+                                    latency - jbase, {"bytes": record_bytes})
                 stats.puts += 1
                 stats.user_bytes_written += payload
                 if (now - self._last_checkpoint >= checkpoint_interval
                         or self._journal_since_checkpoint >= checkpoint_log_bytes):
                     self._maybe_checkpoint()
+                if tr_on:
+                    tracer.op_end("update", now, latency)
                 clock.advance(latency)
                 now += latency
                 done += 1
@@ -308,6 +349,8 @@ class BTreeStore(KVStore):
         touch = self.cache.touch
         append = None if latencies is None else latencies.append
         keys_list = as_int_list(keys)
+        tracer = self.tracer
+        tr_on = tracer.enabled
         leaf = self._read_cursor
         done = 0
         # Local clock mirror (see put_many): lookups advance time only
@@ -317,6 +360,8 @@ class BTreeStore(KVStore):
         try:
             for i in range(n):
                 key = keys_list[i]
+                if tr_on:
+                    tracer.op_begin()
                 latency = cpu
                 reuse = False
                 if leaf is not None and (lkeys := leaf.keys):
@@ -337,6 +382,8 @@ class BTreeStore(KVStore):
                     # _maybe_checkpoint's due test, inlined (it reads
                     # the same clock value this mirror tracks).
                     self._maybe_checkpoint()
+                if tr_on:
+                    tracer.op_end("read", now, latency)
                 clock.advance(latency)
                 now += latency
                 done += 1
@@ -374,12 +421,16 @@ class BTreeStore(KVStore):
         stats = self._stats
         append = None if latencies is None else latencies.append
         keys_list = as_int_list(start_keys)
+        tracer = self.tracer
+        tr_on = tracer.enabled
         cached = self._read_cursor
         done = 0
         now = clock.now  # local mirror, as in put_many/get_many
         try:
             for i in range(n):
                 start_key = keys_list[i]
+                if tr_on:
+                    tracer.op_begin()
                 latency = cpu
                 reuse = False
                 if cached is not None and (ckeys := cached.keys):
@@ -402,6 +453,8 @@ class BTreeStore(KVStore):
                             break
                     leaf = leaf.next_leaf
                 stats.scans += 1
+                if tr_on:
+                    tracer.op_end("scan", now, latency)
                 clock.advance(latency)
                 now += latency
                 done += 1
@@ -559,6 +612,10 @@ class BTreeStore(KVStore):
         else:
             latency += self.fs.pwrite(self.JOURNAL_FILE, start, nbytes)
         self._journal_offset = (start + nbytes) % ring
+        tracer = self.tracer
+        if tracer.enabled and latency > 0.0:
+            tracer.span("journal_append", "btree", self.clock.now, latency,
+                        {"bytes": nbytes})
         return latency
 
     # ------------------------------------------------------------------
@@ -627,6 +684,13 @@ class BTreeStore(KVStore):
         self._journal_since_checkpoint = 0
         self._last_checkpoint = self.clock.now
         self.checkpoints += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("checkpoint", "btree", {
+                "dirty_pages": len(dirty),
+                "meta_bytes": meta_bytes,
+                "journal_bytes": self.journal_bytes,
+            })
 
     # ------------------------------------------------------------------
     # Helpers / verification

@@ -80,13 +80,27 @@ class CampaignOutcome:
         return "\n".join(canonical_line(record) for record in self.records) + "\n"
 
 
-def _execute_cell(spec_dict: dict) -> ExperimentResult:
+def _execute_cell(spec_dict: dict, trace_out: str | None = None) -> ExperimentResult:
     """Worker entry point: rebuild the spec, run the cell.
 
     Takes the serialized spec (not the dataclass) so the parent/worker
-    contract is the same one the JSONL store uses.
+    contract is the same one the JSONL store uses.  ``trace_out``
+    attaches a flight recorder and writes one Chrome trace per cell to
+    ``<trace_out>-<cellhash>.json``; tracing never changes simulated
+    results, so traced and untraced campaigns produce identical
+    records apart from the additive ``attribution`` field.
     """
-    return run_experiment(ExperimentSpec.from_dict(spec_dict))
+    spec = ExperimentSpec.from_dict(spec_dict)
+    if trace_out is None:
+        return run_experiment(spec)
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    result = run_experiment(spec, tracer=tracer)
+    write_chrome_trace(tracer.events(), f"{trace_out}-{spec.stable_hash()}.json",
+                       attribution=result.attribution)
+    tracer.close()
+    return result
 
 
 def run_campaign(
@@ -95,6 +109,7 @@ def run_campaign(
     out: str | Path | None = None,
     resume: bool = False,
     progress: Callable[[CellOutcome], None] | None = None,
+    trace_out: str | None = None,
 ) -> CampaignOutcome:
     """Run (or finish) a campaign; returns grid-ordered outcomes.
 
@@ -102,7 +117,8 @@ def run_campaign(
     finishes; ``resume=True`` first loads that file and skips cells
     whose spec hash is already recorded.  Without ``resume``, an
     ``out`` file that already holds completed cells is refused rather
-    than clobbered.
+    than clobbered.  ``trace_out`` traces every fresh cell (one Chrome
+    trace file per cell, see :func:`_execute_cell`).
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -147,11 +163,12 @@ def run_campaign(
 
     if workers == 1 or len(pending) <= 1:
         for index, spec, _digest in pending:
-            finish(index, spec, run_experiment(spec))
+            finish(index, spec, _execute_cell(spec.to_dict(), trace_out))
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
             futures = {
-                pool.submit(_execute_cell, spec.to_dict()): (index, spec)
+                pool.submit(_execute_cell, spec.to_dict(), trace_out):
+                    (index, spec)
                 for index, spec, _digest in pending
             }
             remaining = set(futures)

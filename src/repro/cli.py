@@ -3,6 +3,7 @@
 ``repro figures``                list the reproducible paper figures
 ``repro run-figure fig5``        reproduce one figure and print its rows
 ``repro run --engine lsm ...``   run a single custom experiment
+``repro trace --engine lsm ...`` run one experiment with the flight recorder
 ``repro campaign --preset ...``  run a grid of experiments on a worker pool
 ``repro bench``                  wall-clock perf benchmark + regression check
 ``repro profile``                cProfile one bench cell (top-N hot spots)
@@ -54,33 +55,28 @@ def _build_parser() -> argparse.ArgumentParser:
     run_figure.set_defaults(func=_cmd_run_figure)
 
     run = sub.add_parser("run", help="run a single custom experiment")
-    run.add_argument("--engine", choices=[e.value for e in Engine], default="lsm")
-    run.add_argument("--ssd", choices=["ssd1", "ssd2", "ssd3"], default="ssd1")
-    run.add_argument("--state", choices=[s.value for s in DriveState],
-                     default="trimmed")
-    run.add_argument("--capacity-mib", type=int, default=128)
-    run.add_argument("--dataset-fraction", type=float, default=0.5)
-    run.add_argument("--value-bytes", type=int, default=4000)
-    run.add_argument("--read-fraction", type=float, default=0.0)
-    run.add_argument("--scan-fraction", type=float, default=0.0)
-    run.add_argument("--scan-length", type=int, default=100,
-                     help="keys returned per scan operation")
-    run.add_argument("--delete-fraction", type=float, default=0.0)
-    run.add_argument("--distribution", choices=sorted(DISTRIBUTIONS),
-                     default="uniform")
-    run.add_argument("--op-reserved", type=float, default=0.0)
-    run.add_argument("--duration", type=float, default=3.5,
-                     help="stop after host writes reach DURATION x capacity")
-    run.add_argument("--seed", type=int, default=0xD1D0)
-    run.add_argument("--clients", type=int, default=1,
-                     help="concurrent clients; >1 runs on the event-driven "
-                          "scheduler with channel-parallel device timing")
-    run.add_argument("--driver", choices=["auto", "inline", "pool"],
-                     default="auto",
-                     help="measured-phase driver; 'pool' forces the client "
-                          "pool even at one client (bit-identical to inline, "
-                          "and it records per-op latencies)")
+    _add_spec_args(run)
+    run.add_argument("--trace", metavar="OUT", default=None,
+                     help="record a flight-recorder trace of the measured "
+                          "phase and write it (Chrome trace_event JSON, "
+                          "loadable in Perfetto) to OUT")
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with the flight recorder attached",
+        description=(
+            "Run a single experiment (same flags as `repro run`) with the "
+            "structured tracer attached to every layer, write a Chrome "
+            "trace_event JSON (open it at https://ui.perfetto.dev), and "
+            "print the per-op latency attribution table.  Tracing never "
+            "changes simulated results (DESIGN.md §9)."
+        ),
+    )
+    _add_spec_args(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="trace output path (default %(default)s)")
+    trace.set_defaults(func=_cmd_trace)
 
     campaign = sub.add_parser(
         "campaign",
@@ -106,6 +102,10 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--render", metavar="JSONL", default=None,
                           help="render the consolidated table from a finished "
                                "campaign file, running nothing")
+    campaign.add_argument("--trace", metavar="PREFIX", default=None,
+                          help="trace every cell: write one Chrome trace per "
+                               "cell to PREFIX-<cellhash>.json and record its "
+                               "latency attribution in the JSONL output")
     campaign.set_defaults(func=_cmd_campaign)
 
     bench = sub.add_parser(
@@ -166,23 +166,40 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_figures(args) -> int:
-    for name in sorted(FIGURES):
-        print(f"{name:7s} {FIGURES[name].__doc__.strip().splitlines()[0]}")
-    return 0
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    """Register the single-experiment spec flags (`run` and `trace`)."""
+    parser.add_argument("--engine", choices=[e.value for e in Engine],
+                        default="lsm")
+    parser.add_argument("--ssd", choices=["ssd1", "ssd2", "ssd3"],
+                        default="ssd1")
+    parser.add_argument("--state", choices=[s.value for s in DriveState],
+                        default="trimmed")
+    parser.add_argument("--capacity-mib", type=int, default=128)
+    parser.add_argument("--dataset-fraction", type=float, default=0.5)
+    parser.add_argument("--value-bytes", type=int, default=4000)
+    parser.add_argument("--read-fraction", type=float, default=0.0)
+    parser.add_argument("--scan-fraction", type=float, default=0.0)
+    parser.add_argument("--scan-length", type=int, default=100,
+                        help="keys returned per scan operation")
+    parser.add_argument("--delete-fraction", type=float, default=0.0)
+    parser.add_argument("--distribution", choices=sorted(DISTRIBUTIONS),
+                        default="uniform")
+    parser.add_argument("--op-reserved", type=float, default=0.0)
+    parser.add_argument("--duration", type=float, default=3.5,
+                        help="stop after host writes reach DURATION x capacity")
+    parser.add_argument("--seed", type=int, default=0xD1D0)
+    parser.add_argument("--clients", type=int, default=1,
+                        help="concurrent clients; >1 runs on the event-driven "
+                             "scheduler with channel-parallel device timing")
+    parser.add_argument("--driver", choices=["auto", "inline", "pool"],
+                        default="auto",
+                        help="measured-phase driver; 'pool' forces the client "
+                             "pool even at one client (bit-identical to "
+                             "inline, and it records per-op latencies)")
 
 
-def _cmd_run_figure(args) -> int:
-    figure = FIGURES[args.figure](SCALES[args.scale])
-    print(figure.text)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(figure.text + "\n")
-    return 0
-
-
-def _cmd_run(args) -> int:
-    spec = ExperimentSpec(
+def _spec_from_args(args) -> ExperimentSpec:
+    return ExperimentSpec(
         engine=Engine(args.engine),
         ssd=args.ssd,
         drive_state=DriveState(args.state),
@@ -200,7 +217,31 @@ def _cmd_run(args) -> int:
         nclients=args.clients,
         driver=args.driver,
     )
-    result = run_experiment(spec)
+
+
+def _cmd_figures(args) -> int:
+    for name in sorted(FIGURES):
+        print(f"{name:7s} {FIGURES[name].__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def _cmd_run_figure(args) -> int:
+    figure = FIGURES[args.figure](SCALES[args.scale])
+    print(figure.text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(figure.text + "\n")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from_args(args)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    result = run_experiment(spec, tracer=tracer)
     rows = [
         [f"{s.t:.2f}", f"{s.kv_tput:.0f}", f"{s.dev_write_mbps:.0f}",
          f"{s.dev_read_mbps:.0f}", f"{s.wa_a:.1f}", f"{s.wa_d:.2f}",
@@ -234,6 +275,38 @@ def _cmd_run(args) -> int:
             f"WA-D={steady.wa_d:.2f}, end-to-end WA="
             f"{steady.wa_a * steady.wa_d:.1f}, space amp={steady.space_amp:.2f}"
         )
+    if tracer is not None:
+        from repro.obs import render_attribution, write_chrome_trace
+
+        nevents = write_chrome_trace(tracer.events(), args.trace,
+                                     attribution=result.attribution)
+        tracer.close()
+        print()
+        print(render_attribution(result.attribution,
+                                 title="per-op latency attribution"))
+        print(f"trace written to {args.trace} ({nevents} events; "
+              f"open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import Tracer, render_attribution, write_chrome_trace
+
+    spec = _spec_from_args(args)
+    tracer = Tracer()
+    result = run_experiment(spec, tracer=tracer)
+    nevents = write_chrome_trace(tracer.events(), args.out,
+                                 attribution=result.attribution)
+    tracer.close()
+    if result.out_of_space:
+        print("RUN ENDED: out of space")
+    if result.steady:
+        print(f"steady state: {result.steady.kv_tput:.0f} ops/s, "
+              f"WA-D={result.steady.wa_d:.2f}")
+    print(render_attribution(result.attribution,
+                             title="per-op latency attribution"))
+    print(f"trace written to {args.out} ({nevents} events; "
+          f"open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -281,7 +354,7 @@ def _cmd_campaign(args) -> int:
 
     outcome = run_campaign(
         campaign, workers=args.workers, out=out,
-        resume=args.resume, progress=progress,
+        resume=args.resume, progress=progress, trace_out=args.trace,
     )
     print(f"{outcome.ran} cell(s) run, {outcome.skipped} resumed from {out} "
           f"in {outcome.wall_seconds:.1f}s with {args.workers} worker(s)")

@@ -38,6 +38,7 @@ from repro.flash.state import DriveState, apply_drive_state
 from repro.fs.filesystem import ExtentFilesystem
 from repro.lsm.config import LSMConfig
 from repro.lsm.store import LSMStore
+from repro.obs.tracer import NULL_TRACER, attach_tracer
 from repro.sim.clients import ClientPool
 from repro.units import MIB
 from repro.workload.keys import DISTRIBUTIONS
@@ -199,6 +200,7 @@ class ExperimentResult:
     client_latencies: ClientLatencies | None = None  # pool-driven runs only
     per_client_ops: list[int] | None = None
     kv_ops: dict[str, int] = field(default_factory=dict)  # puts/gets/scans/deletes
+    attribution: dict[str, Any] | None = None  # traced runs only (repro.obs)
 
     @property
     def completed(self) -> bool:
@@ -238,6 +240,7 @@ class ExperimentResult:
             ),
             "per_client_ops": self.per_client_ops,
             "kv_ops": dict(self.kv_ops),
+            "attribution": self.attribution,
         }
 
 
@@ -276,7 +279,8 @@ def build_stack(spec: ExperimentSpec):
 
 def run_experiment(spec: ExperimentSpec,
                    use_client_pool: bool | None = None,
-                   batched: bool = True) -> ExperimentResult:
+                   batched: bool = True,
+                   tracer=None) -> ExperimentResult:
     """Run one full experiment and return its results.
 
     ``use_client_pool`` overrides the driver choice: by default the
@@ -290,8 +294,15 @@ def run_experiment(spec: ExperimentSpec,
     runner, and pool-client loops; the default batched paths are
     bit-identical to them (DESIGN.md §6, §7), so this switch exists
     for equivalence tests and the perf-regression harness.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer` flight recorder to
+    every layer of the stack.  It is enabled only for the measured
+    phase (the load phase is not traced), and is a parameter rather
+    than a spec field so traced and untraced runs share the same
+    ``stable_hash``.  Tracing never changes simulated results.
     """
     clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
+    attach_tracer(tracer, clock=clock, ssd=ssd, store=store)
     workload = spec.workload()
     collector = MetricsCollector(
         clock=clock, ssd=ssd, iostat=iostat, fs=fs, store=store,
@@ -304,6 +315,8 @@ def run_experiment(spec: ExperimentSpec,
     if not load.out_of_space:
         ssd.drain()
     collector.start_measurement()
+    if tracer is not None:
+        tracer.enable()  # trace the measured phase only
     peak_util = fs.utilization()
 
     if use_client_pool is None:
@@ -325,6 +338,7 @@ def run_experiment(spec: ExperimentSpec,
                 max_ops=spec.max_ops,
                 ssd=ssd,
                 batch=batched,
+                tracer=tracer if tracer is not None else NULL_TRACER,
             )
             outcome = pool.run()
         else:
@@ -372,6 +386,7 @@ def run_experiment(spec: ExperimentSpec,
             "scans": store.stats.scans,
             "deletes": store.stats.deletes,
         },
+        attribution=tracer.attribution.as_dict() if tracer is not None else None,
     )
 
 

@@ -49,9 +49,14 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
     (``repro campaign --render``).  Tail-latency columns (pooled p95 /
     p99 across clients, in microseconds) are filled for pool-driven
     cells; the inline runner records no per-op latencies, so its cells
-    show ``-``.
+    show ``-``.  GC columns come from the device's GC-attributable
+    SMART counters (reclaims and pages moved by garbage collection);
+    records from before those counters existed show ``-``.  Cells run
+    with the flight recorder attached (``--trace``) are followed by
+    their per-op latency attribution tables.
     """
     rows = []
+    attributions = []
     for record in records:
         spec = record["spec"]
         steady = record.get("steady")
@@ -70,17 +75,37 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
             tail = ["-", "-"]
         else:
             tail = [f"{latency['p95'] * 1e6:.0f}", f"{latency['p99'] * 1e6:.0f}"]
+        smart = record.get("smart", {})
+        gc = [
+            "-" if smart.get("gc_reclaims") is None
+            else str(smart["gc_reclaims"]),
+            "-" if smart.get("gc_pages_moved") is None
+            else str(smart["gc_pages_moved"]),
+        ]
         rows.append([
             spec["engine"], spec["ssd"], spec["drive_state"],
             f"{spec['dataset_fraction']:g}", f"{spec['op_reserved_fraction']:g}",
             str(spec.get("nclients", 1)),
-            *perf, *tail, status, record["cell"],
+            *perf, *tail, *gc, status, record["cell"],
         ])
-    return render_table(
+        if record.get("attribution"):
+            attributions.append((record["cell"], record["attribution"]))
+    text = render_table(
         ["engine", "SSD", "state", "data/cap", "OP", "clients", "KOps/s",
-         "WA-A", "WA-D", "space amp", "p95 us", "p99 us", "status", "cell"],
+         "WA-A", "WA-D", "space amp", "p95 us", "p99 us", "gc recl",
+         "gc moved", "status", "cell"],
         rows, title=title,
     )
+    if attributions:
+        from repro.obs.attribution import render_attribution
+
+        sections = [text]
+        for cell, attribution in attributions:
+            sections.append(render_attribution(
+                attribution, title=f"latency attribution [{cell}]",
+            ))
+        text = "\n\n".join(sections)
+    return text
 
 
 def _fmt(cell) -> str:

@@ -33,6 +33,7 @@ from repro.flash.config import SSDConfig
 from repro.flash.gc import (
     _CLOSED, _FREE, _OPEN, GCPolicy, GreedyPolicy, VictimIndex,
 )
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(slots=True)
@@ -111,6 +112,8 @@ class FlashTranslationLayer:
             self._low_count + 1,
             min(int(config.nblocks * config.gc_high_watermark), spare_blocks - 2),
         )
+
+        self.tracer = NULL_TRACER  # flight recorder (repro.obs)
 
         # Lifetime counters (pages / blocks).
         self.total_host_pages = 0
@@ -527,6 +530,14 @@ class FlashTranslationLayer:
         self._free.append(victim)
         work.erases += 1
         self.total_erases += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("gc_reclaim", "gc", {
+                "victim": int(victim),
+                "valid_pages": int(valid_lpns.size),
+                "erase_count": int(self._erase_count[victim]),
+                "free_blocks": len(self._free),
+            })
 
     # ------------------------------------------------------------------
     # Test support

@@ -26,6 +26,9 @@ class SmartAttributes:
     host_write_requests: int = 0
     host_read_requests: int = 0
     fold_events: int = 0  # writes that paid the SLC->QLC fold penalty
+    gc_reclaims: int = 0  # victim blocks reclaimed (one erase each)
+    gc_pages_moved: int = 0  # valid pages relocated out of victims
+    gc_flash_reads: int = 0  # flash page reads performed for relocation
 
     def device_write_amplification(self) -> float:
         """WA-D: flash bytes programmed per host byte written (>= 1)."""

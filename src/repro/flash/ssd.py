@@ -59,6 +59,7 @@ from repro.flash.config import SSDConfig
 from repro.flash.ftl import FlashTranslationLayer, WorkUnits
 from repro.flash.gc import GCPolicy
 from repro.flash.smart import SmartAttributes
+from repro.obs.tracer import NULL_TRACER
 
 
 def mean_write_backlog(write_busy: list, now: float) -> float:
@@ -218,6 +219,11 @@ class SSD:
             self._mapped = None
         self._busy_until = 0.0
         self._channels: ChannelTimeline | None = None
+        self.tracer = NULL_TRACER
+        # Tracing-only observation of the outstanding flash work split
+        # into [gc seconds, total seconds, last update time]; touched
+        # only while the tracer is enabled (DESIGN.md §9.2).
+        self._gc_obs = [0.0, 0.0, 0.0]
 
     # ------------------------------------------------------------------
     # Geometry passthrough (device-protocol surface used by upper layers)
@@ -301,6 +307,26 @@ class SSD:
         smart.host_bytes_read += nbytes
         smart.nand_bytes_read += nbytes
         smart.host_read_requests += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            if self._channels is not None:
+                ideal = (cfg.read_latency + nbytes / cfg.bus_bytes_per_s
+                         + (-(-npages // cfg.channels)) * cfg.page_read_time)
+            else:
+                ideal = (cfg.read_latency
+                         + npages * cfg.page_read_time / cfg.channels
+                         + nbytes / cfg.bus_bytes_per_s)
+            queueing = latency - ideal
+            if queueing < 0.0:
+                queueing = 0.0
+            device_service = latency - queueing
+            if tracer.in_op:
+                tracer.add("device_service", device_service)
+                tracer.add("queueing", queueing)
+            tracer.span("flash_read", "flash", self.clock.now, latency, {
+                "pages": npages, "device_service": device_service,
+                "queueing": queueing,
+            })
         return latency
 
     def trim_range(self, start: int, npages: int) -> None:
@@ -433,6 +459,12 @@ class SSD:
             smart.gc_bytes_relocated += gc_bytes
             smart.nand_bytes_read += gc_bytes
             smart.blocks_erased += work.erases
+            # GC-attributable counters (§3.3 SMART deltas, refined):
+            # every reclaim erases exactly one victim, and every moved
+            # page is one flash read plus one program.
+            smart.gc_reclaims += work.erases
+            smart.gc_pages_moved += work.gc_pages
+            smart.gc_flash_reads += work.gc_pages
         else:
             smart.nand_bytes_written += work.host_pages * page_size
 
@@ -458,27 +490,101 @@ class SSD:
         if channels is not None:
             self._queue_flash_work(work, fold, now)
             if background:
-                return 0.0
-            transfer = nbytes / self._bus_bytes_per_s
-            completion = max(
-                now + transfer + self._host_write_latency,
-                now + self.backlog_seconds() - self._cache_drain_window,
-            )
-            return completion - now
-        flash_time = (
-            (work.host_pages + work.gc_pages) * self._program_time
-            + work.erases * self._erase_time
-        ) / self._nchannels * fold
-        start = max(self._busy_until, now)
-        self._busy_until = start + flash_time
+                latency = 0.0
+            else:
+                transfer = nbytes / self._bus_bytes_per_s
+                completion = max(
+                    now + transfer + self._host_write_latency,
+                    now + self.backlog_seconds() - self._cache_drain_window,
+                )
+                latency = completion - now
+        else:
+            flash_time = (
+                (work.host_pages + work.gc_pages) * self._program_time
+                + work.erases * self._erase_time
+            ) / self._nchannels * fold
+            start = max(self._busy_until, now)
+            self._busy_until = start + flash_time
+            if background:
+                latency = 0.0
+            else:
+                transfer = nbytes / self._bus_bytes_per_s
+                completion = max(
+                    now + transfer + self._host_write_latency,
+                    self._busy_until - self._cache_drain_window,
+                )
+                latency = completion - now
+        tracer = self.tracer
+        if tracer.enabled:
+            self._trace_write(tracer, npages, nbytes, work, fold,
+                              background, latency, now)
+        return latency
+
+    def _trace_write(self, tracer, npages, nbytes, work, fold, background,
+                     latency, now) -> None:
+        """Observe one device write for the flight recorder.
+
+        Tracing only — reads model state, never writes it, so enabling
+        the tracer cannot change a simulated result.  The GC share of
+        the outstanding flash work is tracked in ``_gc_obs`` as a
+        (gc seconds, total seconds) pair drained proportionally at the
+        device's service rate; a foreground write's queueing time is
+        split into ``gc_wait`` by the share at admission.
+        """
+        obs = self._gc_obs
+        gc_out, total_out, last_t = obs
+        drained = now - last_t
+        if self._channels is not None:
+            # Channel mode queues undivided per-page seconds; the array
+            # drains them nchannels at a time.
+            drained *= self._nchannels
+        if total_out > 0.0 and drained > 0.0:
+            if drained >= total_out:
+                gc_out = 0.0
+                total_out = 0.0
+            else:
+                gc_out -= drained * gc_out / total_out
+                total_out -= drained
+        flash_seconds = (work.programmed_pages * self._program_time
+                         + work.erases * self._erase_time) * fold
+        gc_seconds = (work.gc_pages * self._program_time
+                      + work.erases * self._erase_time) * fold
+        if self._channels is None:
+            flash_seconds /= self._nchannels
+            gc_seconds /= self._nchannels
+        total_out += flash_seconds
+        gc_out += gc_seconds
+        obs[0] = gc_out
+        obs[1] = total_out
+        obs[2] = now
         if background:
-            return 0.0
-        transfer = nbytes / self._bus_bytes_per_s
-        completion = max(
-            now + transfer + self._host_write_latency,
-            self._busy_until - self._cache_drain_window,
-        )
-        return completion - now
+            tracer.instant("flash_write_bg", "flash", {
+                "pages": npages, "gc_pages": work.gc_pages,
+                "erases": work.erases,
+            })
+        else:
+            device_service = (nbytes / self._bus_bytes_per_s
+                              + self._host_write_latency)
+            queueing = latency - device_service
+            if queueing < 0.0:
+                queueing = 0.0
+            gc_wait = queueing * (gc_out / total_out) if total_out > 0.0 else 0.0
+            queueing -= gc_wait
+            if tracer.in_op:
+                tracer.add("device_service", device_service)
+                tracer.add("queueing", queueing)
+                tracer.add("gc_wait", gc_wait)
+            tracer.span("flash_write", "flash", now, latency, {
+                "pages": npages, "gc_pages": work.gc_pages,
+                "erases": work.erases, "device_service": device_service,
+                "queueing": queueing, "gc_wait": gc_wait,
+            })
+        channels = self._channels
+        if channels is not None:
+            tracer.counter("channel_occupancy", {
+                "write_backlog_s": channels.backlog(now),
+                "busy_max_s": max(0.0, channels.busy_max - now),
+            })
 
     def _queue_flash_work(self, work: WorkUnits, fold: float, now: float) -> None:
         """Stripe program/erase work across the per-channel horizons.

@@ -24,6 +24,7 @@ from repro.lsm.config import LSMConfig
 from repro.lsm.memtable import KIND_DELETE
 from repro.lsm.sstable import SSTable, split_into_tables
 from repro.lsm.version import Version
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -113,13 +114,26 @@ class CompactionExecutor:
         self.config = config
         self.next_table_id = next_table_id
         self.stats = CompactionStats()
+        self.tracer = NULL_TRACER  # flight recorder (repro.obs)
 
     def run(self, compaction: Compaction, version: Version) -> None:
         """Execute one compaction job (trivial move or merge)."""
         if compaction.is_trivial_move:
             self._trivial_move(compaction, version)
             return
+        stats = self.stats
+        before_read = stats.bytes_read
+        before_written = stats.bytes_written
         self._merge(compaction, version)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("compaction", "lsm", {
+                "level": compaction.level,
+                "output_level": compaction.output_level,
+                "inputs": len(compaction.inputs) + len(compaction.next_inputs),
+                "bytes_read": stats.bytes_read - before_read,
+                "bytes_written": stats.bytes_written - before_written,
+            })
 
     # ------------------------------------------------------------------
     # Internals

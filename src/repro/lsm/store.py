@@ -45,6 +45,7 @@ from repro.lsm.memtable import KIND_DELETE, KIND_PUT, MemTable
 from repro.lsm.sstable import split_into_tables
 from repro.lsm.version import Version
 from repro.lsm.wal import WriteAheadLog
+from repro.obs.tracer import NULL_TRACER
 
 
 class LSMStore(KVStore):
@@ -79,6 +80,7 @@ class LSMStore(KVStore):
         # record geometry for the last-seen vlen; DESIGN.md §8).
         self._put_consts = None
         self._del_consts = None
+        self.tracer = NULL_TRACER  # flight recorder (repro.obs)
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -86,36 +88,63 @@ class LSMStore(KVStore):
     def put(self, key: int, value: Value) -> float:
         """Insert/update a key."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         if self.wal is not None:
-            latency += self.wal.append(self.config.key_bytes + value.length)
+            wal_latency = self.wal.append(self.config.key_bytes + value.length)
+            latency += wal_latency
+            if tr_on and wal_latency > 0.0:
+                tracer.span("wal_append", "lsm", t0, wal_latency,
+                            {"bytes": self.config.key_bytes + value.length})
         seq = self._next_seq
         self._next_seq = seq + 1
         self.memtable.put(key, seq, value.seed, value.length)
         self._stats.puts += 1
         self._stats.user_bytes_written += self.config.key_bytes + value.length
         latency += self._after_write()
+        if tr_on:
+            tracer.op_end("update", t0, latency)
         self.clock.advance(latency)
         return latency
 
     def delete(self, key: int) -> float:
         """Write a tombstone for a key."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         if self.wal is not None:
-            latency += self.wal.append(self.config.key_bytes)
+            wal_latency = self.wal.append(self.config.key_bytes)
+            latency += wal_latency
+            if tr_on and wal_latency > 0.0:
+                tracer.span("wal_append", "lsm", t0, wal_latency,
+                            {"bytes": self.config.key_bytes})
         seq = self._next_seq
         self._next_seq = seq + 1
         self.memtable.delete(key, seq)
         self._stats.deletes += 1
         self._stats.user_bytes_written += self.config.key_bytes
         latency += self._after_write()
+        if tr_on:
+            tracer.op_end("delete", t0, latency)
         self.clock.advance(latency)
         return latency
 
     def get(self, key: int) -> tuple[float, Value | None]:
         """Point lookup."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         entry = self._find(key)
         value = None
@@ -126,12 +155,19 @@ class LSMStore(KVStore):
         self._stats.gets += 1
         if value is not None:
             self._stats.user_bytes_read += self.config.key_bytes + value.length
+        if tr_on:
+            tracer.op_end("read", t0, latency)
         self.clock.advance(latency)
         return latency, value
 
     def scan(self, start_key: int, count: int) -> tuple[float, list[tuple[int, Value]]]:
         """Ordered range scan of up to *count* live pairs."""
         self._ensure_open()
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        if tr_on:
+            t0 = self.clock.now
+            tracer.op_begin()
         latency = self.config.cpu_overhead
         results: list[tuple[int, Value]] = []
         heap: list[tuple[int, int, int, object]] = []
@@ -162,6 +198,8 @@ class LSMStore(KVStore):
 
         latency += self._charge_scan_reads(consumed)
         self._stats.scans += 1
+        if tr_on:
+            tracer.op_end("scan", t0, latency)
         self.clock.advance(latency)
         return latency, results
 
@@ -245,10 +283,15 @@ class LSMStore(KVStore):
                 else:
                     miss_idx.append(i)
             plans = self._plan_table_probes(keys_list, miss_idx)
+        tracer = self.tracer
+        tr_on = tracer.enabled
         done = 0
         try:
             for i in range(n):
                 key = keys_list[i]
+                if tr_on:
+                    t0 = clock.now
+                    tracer.op_begin()
                 read_latency = 0.0
                 if plans is not None:
                     entry = resolved[i]
@@ -282,6 +325,8 @@ class LSMStore(KVStore):
                                     key_bytes + value.length
                 latency = cpu + read_latency
                 stats.gets += 1
+                if tr_on:
+                    tracer.op_end("read", t0, latency)
                 clock.advance(latency)
                 done += 1
                 if append is not None:
@@ -355,12 +400,19 @@ class LSMStore(KVStore):
         for memtable, _wal in self._immutables:
             snapshots.append(memtable.sorted_items())
         tables = [table for _level, table in self.version.all_tables()]
+        tracer = self.tracer
+        tr_on = tracer.enabled
         done = 0
         try:
             for i in range(n):
+                if tr_on:
+                    t0 = clock.now
+                    tracer.op_begin()
                 latency = cpu + self._scan_once(keys_list[i], count,
                                                 snapshots, tables)
                 stats.scans += 1
+                if tr_on:
+                    tracer.op_end("scan", t0, latency)
                 clock.advance(latency)
                 done += 1
                 if append is not None:
@@ -504,6 +556,9 @@ class LSMStore(KVStore):
         keys_list = keys if type(keys) is list else as_int_list(keys)
         seeds_list = None if vseeds is None else (
             vseeds if type(vseeds) is list else as_int_list(vseeds))
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        wkind = "delete" if delete else "update"
 
         if n == 1:
             # Single-op fast path — the shape the batched pool sends
@@ -539,6 +594,8 @@ class LSMStore(KVStore):
                 if penalty != 0.0:
                     self.stall_seconds += penalty
                 latency = cpu + penalty
+                if tr_on:
+                    tracer.op_write(wkind, now, latency, penalty)
                 seq = self._next_seq
                 self._next_seq = seq + 1
                 if delete:
@@ -636,12 +693,14 @@ class LSMStore(KVStore):
                     # Zero backlog stays zero: per-op latency is the
                     # constant CPU cost (accumulated op by op, so float
                     # rounding matches the scalar path).
-                    if bound is None and append is None:
+                    if bound is None and append is None and not tr_on:
                         for _ in range(cap):
                             now += cpu
                         took = cap
                     else:
                         for _ in range(cap):
+                            if tr_on:
+                                tracer.op_write(wkind, now, cpu, 0.0)
                             now += cpu
                             took += 1
                             if append is not None:
@@ -662,6 +721,8 @@ class LSMStore(KVStore):
                         else:
                             penalty = 0.0
                         stall += penalty
+                        if tr_on:
+                            tracer.op_write(wkind, now, cpu + penalty, penalty)
                         now += cpu + penalty
                         took += 1
                         if append is not None:
@@ -689,6 +750,8 @@ class LSMStore(KVStore):
                         else:
                             penalty = 0.0
                         stall += penalty
+                        if tr_on:
+                            tracer.op_write(wkind, now, cpu + penalty, penalty)
                         now += cpu + penalty
                         took += 1
                         if append is not None:
@@ -804,17 +867,36 @@ class LSMStore(KVStore):
         if self.memtable.full:
             self._rotate_memtable()
             if self.scheduler is None:
-                self._flush_immutables()
-                self._run_compactions()
+                self._flush_inline()
             elif len(self._immutables) > self.config.max_immutable_memtables:
                 # Too many immutables awaiting the background worker:
                 # the write path stops and catches up inline.
                 self.inline_takeovers += 1
-                self._flush_immutables()
-                self._run_compactions()
+                self._flush_inline()
             else:
                 self.scheduler.spawn(self._background_job(), label="lsm-flush")
         return self._stall_penalty()
+
+    def _flush_inline(self) -> None:
+        """Flush + compact on the write path (no scheduler / takeover).
+
+        The flush's device work is background work whose latency is
+        *not* part of the triggering op's user-visible latency, so the
+        op attribution context is suspended around it — its flash reads
+        and writes show up as their own trace spans, never as op
+        components (DESIGN.md §9.2).
+        """
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.op_suspend()
+            try:
+                self._flush_immutables()
+                self._run_compactions()
+            finally:
+                tracer.op_resume()
+        else:
+            self._flush_immutables()
+            self._run_compactions()
 
     def _rotate_memtable(self) -> None:
         self._immutables.append((self.memtable, self.wal))
@@ -832,11 +914,18 @@ class LSMStore(KVStore):
             wal.sync()
         arrays = memtable.sorted_arrays()
         if len(arrays[0]):
+            before = self.flushed_bytes
             for table in split_into_tables(self._next_table_id, self.config, *arrays):
                 self.fs.create(table.filename)
                 self.fs.append(table.filename, table.data_bytes, background=True)
                 self.flushed_bytes += table.data_bytes
                 self.version.add(0, table)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant("memtable_flush", "lsm", {
+                    "bytes": self.flushed_bytes - before,
+                    "entries": len(arrays[0]),
+                })
         if wal is not None:
             wal.discard()
 
@@ -876,6 +965,13 @@ class LSMStore(KVStore):
         elif backlog > config.backlog_soft_limit:
             penalty = (backlog - config.backlog_soft_limit) * config.slowdown_factor
         self.stall_seconds += penalty
+        tracer = self.tracer
+        if tracer.enabled and penalty > 0.0:
+            tracer.add("write_stall", penalty)
+            tracer.instant("write_stall", "lsm", {
+                "backlog_s": backlog, "penalty_s": penalty,
+                "l0_files": len(self.version.levels[0]),
+            })
         return penalty
 
     # ------------------------------------------------------------------

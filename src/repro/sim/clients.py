@@ -59,6 +59,7 @@ from repro import rng as rng_mod
 from repro.core.metrics import ClientLatencies
 from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.scheduler import Scheduler, TraceEntry
 from repro.workload.keys import make_chooser
 from repro.workload.plan import (
@@ -105,6 +106,7 @@ class ClientPool:
         ssd=None,
         record_trace: bool = False,
         batch: bool = True,
+        tracer=NULL_TRACER,
     ):
         if nclients < 1:
             raise ConfigError("nclients must be >= 1")
@@ -120,11 +122,13 @@ class ClientPool:
         self.ssd = ssd
         self.record_trace = record_trace
         self.batch = batch
+        self.tracer = tracer
 
     def run(self) -> PoolOutcome:
         """Drive all clients until stop/budget/out-of-space; blocking."""
         clock = self.store.clock
         scheduler = Scheduler(clock, record_trace=self.record_trace)
+        scheduler.obs_tracer = self.tracer
         self._scheduler = scheduler
         if self.nclients > 1:
             # The degenerate one-client case keeps the seed's inline
@@ -191,6 +195,8 @@ class ClientPool:
         max_ops = self.max_ops
         stop_when = self.stop_when
         check_every = CHECK_EVERY
+        tracer = self.tracer
+        tr_on = tracer.enabled
         version = 1
         runs: list = []
         run_idx = 0
@@ -244,6 +250,9 @@ class ClientPool:
             if end > cur_len:
                 end = cur_len
             until.cap = self._next_sample
+            if tr_on:
+                # Ops this call issues belong to this client's track.
+                tracer.tid = client_id
             try:
                 # All-positional calls: the segment re-issue rate under
                 # queue depth makes even keyword-argument binding show
@@ -308,6 +317,8 @@ class ClientPool:
         outcome = self._outcome
         clock = self.store.clock
         chooser, op_rng = self._substreams(client_id)
+        tracer = self.tracer
+        tr_on = tracer.enabled
         version = 1
         while True:
             if self._stop:
@@ -317,6 +328,8 @@ class ClientPool:
             if outcome.ops_issued % CHECK_EVERY == 0 and self.stop_when():
                 self._stop = True
                 break
+            if tr_on:
+                tracer.tid = client_id
             try:
                 version, latency = issue_one_op(self.store, spec, chooser,
                                                 op_rng, version)

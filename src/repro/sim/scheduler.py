@@ -34,6 +34,7 @@ from typing import Callable, Generator, Iterator
 
 from repro.core.clock import VirtualClock
 from repro.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,10 @@ class Scheduler:
         self._seq = itertools.count()
         self.trace: list[TraceEntry] | None = [] if record_trace else None
         self.events_run = 0
+        # Flight recorder (repro.obs): distinct from the label trace
+        # above — emits event-dispatch spans when enabled, nothing
+        # otherwise (the run/step loops hoist the enabled flag).
+        self.obs_tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -178,6 +183,8 @@ class Scheduler:
     def step(self) -> bool:
         """Run the earliest pending event; False when none remain."""
         clock = self.clock
+        obs = self.obs_tracer
+        obs_on = obs.enabled
         while self._heap:
             time, seq, fn, event = heapq.heappop(self._heap)
             if event is not None and event.cancelled:
@@ -194,6 +201,9 @@ class Scheduler:
             clock._capturing = True
             try:
                 fn()
+                if obs_on:
+                    obs.span(event.label if event is not None else "task",
+                             "sched", time, clock._step_now - time)
             finally:
                 clock._step_now = clock._now
                 clock._capturing = False
@@ -222,6 +232,8 @@ class Scheduler:
         heap = self._heap
         pop = heapq.heappop
         trace = self.trace
+        obs = self.obs_tracer
+        obs_on = obs.enabled
         ran = 0
         try:
             while heap:
@@ -234,6 +246,9 @@ class Scheduler:
                 clock._capturing = True
                 try:
                     fn()
+                    if obs_on:
+                        obs.span(event.label if event is not None else "task",
+                                 "sched", time, clock._step_now - time)
                 finally:
                     clock._step_now = clock._now
                     clock._capturing = False

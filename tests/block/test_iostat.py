@@ -1,0 +1,64 @@
+"""Focused tests for the windowed device-throughput monitor (IOStat)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.block.iostat import IOStat
+
+
+class TestBinning:
+    def test_requests_land_in_their_time_bin(self):
+        # bin_seconds=0.25 divides exactly in binary: bin indices are
+        # deterministic, unlike 0.1 (0.3/0.1 -> 2.999...).
+        stat = IOStat(page_size=4096, bin_seconds=0.25)
+        stat.on_write(0.1, 0, 2, None)
+        stat.on_write(0.3, 0, 3, None)
+        stat.on_read(0.6, 0, 1)
+        assert stat.bytes_written_between(0.0, 0.25) == 2 * 4096
+        assert stat.bytes_written_between(0.25, 0.5) == 3 * 4096
+        assert stat.bytes_read_between(0.5, 0.75) == 4096
+        assert stat.total_bytes_written == 5 * 4096
+        assert stat.total_bytes_read == 4096
+
+    def test_page_list_writes_count_pages_not_extents(self):
+        stat = IOStat(page_size=4096, bin_seconds=0.1)
+        stat.on_write(0.0, -1, 4, np.array([1, 9, 17, 25], dtype=np.int64))
+        assert stat.total_bytes_written == 4 * 4096
+
+    def test_interval_is_half_open(self):
+        stat = IOStat(page_size=4096, bin_seconds=0.25)
+        stat.on_write(0.25, 0, 1, None)  # exactly on the bin edge
+        assert stat.bytes_written_between(0.0, 0.25) == 0
+        assert stat.bytes_written_between(0.25, 0.5) == 4096
+
+    def test_bin_memory_is_bounded_by_span_not_requests(self):
+        stat = IOStat(page_size=4096, bin_seconds=0.05)
+        for i in range(10_000):
+            stat.on_write(0.02, 0, 1, None)  # same instant, same bin
+        assert len(stat._write_bins) == 1
+
+
+class TestRates:
+    def test_rates_average_over_the_window(self):
+        stat = IOStat(page_size=4096, bin_seconds=0.01)
+        stat.on_write(0.0, 0, 10, None)
+        stat.on_read(0.0, 0, 5)
+        assert stat.write_rate(0.0, 2.0) == pytest.approx(10 * 4096 / 2.0)
+        assert stat.read_rate(0.0, 2.0) == pytest.approx(5 * 4096 / 2.0)
+
+    def test_degenerate_windows_are_zero(self):
+        stat = IOStat(page_size=4096)
+        stat.on_write(0.0, 0, 10, None)
+        assert stat.write_rate(1.0, 1.0) == 0.0
+        assert stat.write_rate(2.0, 1.0) == 0.0
+        assert stat.read_rate(1.0, 1.0) == 0.0
+
+    def test_empty_monitor_reads_zero_everywhere(self):
+        stat = IOStat(page_size=4096)
+        assert stat.total_bytes_written == 0
+        assert stat.total_bytes_read == 0
+        assert stat.bytes_written_between(0.0, 10.0) == 0
+        assert stat.bytes_read_between(0.0, 10.0) == 0
+        assert stat.write_rate(0.0, 10.0) == 0.0

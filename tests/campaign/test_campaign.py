@@ -225,4 +225,6 @@ class TestRenderCampaign:
         assert lines[0] == "micro"
         assert "engine" in lines[1] and "WA-D" in lines[1]
         assert len(lines) == 3 + 4  # title + header + rule + one row per cell
-        assert canonical_line(outcome.records[0]).startswith('{"campaign":"micro"')
+        assert canonical_line(outcome.records[0]).startswith(
+            '{"attribution":null,"campaign":"micro"'
+        )

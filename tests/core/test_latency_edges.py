@@ -1,0 +1,73 @@
+"""Percentile edge cases for ClientLatencies (empty, single, degenerate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import ClientLatencies
+from repro.errors import ConfigError
+
+
+class TestEmptySeries:
+    def test_everything_is_zero(self):
+        lat = ClientLatencies(3)
+        assert lat.count() == 0
+        assert lat.percentile(50) == 0.0
+        assert lat.percentile(99, client=1) == 0.0
+        assert lat.mean() == 0.0
+        assert lat.pooled().size == 0
+        assert lat.pooled_summary() == {
+            "ops": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_per_client_summary_rows_exist_with_zero_ops(self):
+        rows = ClientLatencies(2).summary()
+        assert [row["client"] for row in rows] == [0, 1]
+        assert all(row["ops"] == 0 and row["p99"] == 0.0 for row in rows)
+
+    def test_mixed_empty_and_nonempty_clients(self):
+        lat = ClientLatencies(2)
+        lat.record(0, 3e-4)
+        assert lat.count(1) == 0
+        assert lat.percentile(50, client=1) == 0.0
+        # The empty client doesn't distort the pooled percentile.
+        assert lat.percentile(50) == pytest.approx(3e-4)
+
+
+class TestSingleOp:
+    def test_every_percentile_is_that_op(self):
+        lat = ClientLatencies(1)
+        lat.record(0, 2.5e-4)
+        for q in (0, 1, 50, 95, 99, 100):
+            assert lat.percentile(q) == pytest.approx(2.5e-4)
+        assert lat.mean() == pytest.approx(2.5e-4)
+        summary = lat.pooled_summary()
+        assert summary["ops"] == 1
+        assert summary["p50"] == summary["p99"] == pytest.approx(2.5e-4)
+
+
+class TestAllEqual:
+    def test_percentiles_collapse_to_the_common_value(self):
+        lat = ClientLatencies(2)
+        for client in range(2):
+            for _ in range(100):
+                lat.record(client, 1e-3)
+        assert lat.percentile(50) == pytest.approx(1e-3)
+        assert lat.percentile(99) == pytest.approx(1e-3)
+        assert lat.percentile(99, client=1) == pytest.approx(1e-3)
+        assert lat.mean() == pytest.approx(1e-3)
+        summary = lat.pooled_summary()
+        assert summary["p95"] == summary["p99"] == pytest.approx(1e-3)
+        assert summary["ops"] == 200
+
+
+class TestValidation:
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ConfigError):
+            ClientLatencies(0)
+
+    def test_sink_aliases_the_series(self):
+        lat = ClientLatencies(1)
+        lat.sink(0).extend([1e-4, 2e-4])
+        assert lat.count(0) == 2
+        assert lat.series(0)[1] == pytest.approx(2e-4)

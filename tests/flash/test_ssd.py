@@ -45,6 +45,36 @@ class TestSmartAccounting:
         assert tiny_ssd.smart.trim_commands == 1
         assert tiny_ssd.utilization() == 0.0
 
+    def test_gc_attributable_counters(self, tiny_ssd):
+        assert tiny_ssd.smart.gc_reclaims == 0
+        assert tiny_ssd.smart.gc_pages_moved == 0
+        assert tiny_ssd.smart.gc_flash_reads == 0
+        n = tiny_ssd.npages
+        rng = np.random.default_rng(0)
+        tiny_ssd.write_range(0, n)
+        for _ in range(10):
+            tiny_ssd.write_pages(rng.permutation(n)[: n // 2].astype(np.int64))
+        smart = tiny_ssd.smart
+        assert smart.gc_reclaims > 0
+        # Reclaims are erases attributed to GC, never more than total.
+        assert smart.gc_reclaims <= smart.blocks_erased
+        # Every relocated page is one flash read plus one program.
+        assert smart.gc_pages_moved == smart.gc_flash_reads
+        assert smart.gc_pages_moved * tiny_ssd.page_size == smart.gc_bytes_relocated
+
+    def test_gc_counters_survive_serialization(self, tiny_ssd):
+        as_dict = tiny_ssd.smart.as_dict()
+        for key in ("gc_reclaims", "gc_pages_moved", "gc_flash_reads"):
+            assert as_dict[key] == 0
+        before = tiny_ssd.smart.snapshot()
+        n = tiny_ssd.npages
+        rng = np.random.default_rng(1)
+        tiny_ssd.write_range(0, n)
+        for _ in range(10):
+            tiny_ssd.write_pages(rng.permutation(n)[: n // 2].astype(np.int64))
+        delta = tiny_ssd.smart.delta(before)
+        assert delta.gc_reclaims == tiny_ssd.smart.gc_reclaims > 0
+
 
 class TestTiming:
     def test_small_write_sees_cache_latency(self, tiny_ssd):

@@ -1,0 +1,59 @@
+"""Tests for the attribution table and its rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ATTRIBUTION_COMPONENTS, AttributionTable, render_attribution
+
+
+class TestAttributionTable:
+    def test_accumulates_by_kind(self):
+        table = AttributionTable()
+        table.add("update", 1.0, {"queueing": 0.4, "cpu_other": 0.6})
+        table.add("update", 2.0, {"queueing": 1.0, "cpu_other": 1.0})
+        table.add("read", 0.5, {"device_service": 0.5})
+        out = table.as_dict()
+        assert list(out) == ["read", "update"]  # sorted
+        assert out["update"]["ops"] == 2
+        assert out["update"]["latency_seconds"] == pytest.approx(3.0)
+        assert out["update"]["components"]["queueing"] == pytest.approx(1.4)
+        # Untouched components are present at zero: a stable shape.
+        assert set(out["read"]["components"]) >= set(ATTRIBUTION_COMPONENTS)
+
+    def test_empty_table_is_falsy(self):
+        table = AttributionTable()
+        assert not table
+        table.add("read", 0.1, {})
+        assert table
+
+    def test_components_sum_to_latency(self):
+        # The invariant the tracer's residual booking guarantees,
+        # checked here at the aggregation layer.
+        table = AttributionTable()
+        table.add("scan", 1.5, {"device_service": 0.5, "queueing": 0.25,
+                                "cpu_other": 0.75})
+        row = table.as_dict()["scan"]
+        assert sum(row["components"].values()) == pytest.approx(
+            row["latency_seconds"]
+        )
+
+
+class TestRender:
+    def test_renders_all_components(self):
+        table = AttributionTable()
+        table.add("update", 0.002, {"write_stall": 0.0005, "cpu_other": 0.0015})
+        text = render_attribution(table.as_dict(), title="attr")
+        lines = text.splitlines()
+        assert lines[0] == "attr"
+        for name in ATTRIBUTION_COMPONENTS:
+            assert name in lines[1]
+        assert "update" in text
+        # mean latency formats in ms once >= 1ms-scale
+        assert "2.000m" in text
+
+    def test_zero_ops_row_does_not_divide_by_zero(self):
+        text = render_attribution(
+            {"read": {"ops": 0, "latency_seconds": 0.0, "components": {}}}
+        )
+        assert "read" in text
