@@ -1,46 +1,47 @@
 """Ablation: garbage-collection victim selection vs WA-D.
 
 DESIGN.md calls out the greedy policy as a design choice; this bench
-contrasts it with FIFO and windowed-greedy under a uniform random
-overwrite workload at high utilization — the regime where policy
-matters most.  Expected: greedy <= windowed-greedy <= fifo.
+contrasts it with FIFO and windowed-greedy under the regime where
+policy matters most: in-place (B+Tree) updates at high device
+utilization, which the FTL sees as full-span random overwrites.
+Expected: greedy <= windowed-greedy <= fifo.
+
+The sweep is a one-axis :class:`~repro.campaign.CampaignSpec` rather
+than a private loop, so the cells carry the standard record schema
+(steady-state detection, SMART GC counters) and the rendered table is
+the campaign table every other grid uses.
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
-from repro.core.clock import VirtualClock
-from repro.core.report import render_table
-from repro.flash import SSD, get_profile, make_policy
+from repro.campaign import CampaignSpec, run_campaign
+from repro.core.experiment import Engine, ExperimentSpec
+from repro.core.report import render_campaign
 from repro.units import MIB
 
+POLICIES = ("greedy", "windowed-greedy", "fifo")
 
-def measure_policy(policy_name: str, capacity=64 * MIB, seed=1) -> float:
-    clock = VirtualClock()
-    ssd = SSD(get_profile("ssd1", capacity_bytes=capacity),
-              clock, make_policy(policy_name))
-    n = ssd.npages
-    ssd.write_range(0, n, background=True)
-    rng = np.random.default_rng(seed)
-    baseline = ssd.smart.snapshot()
-    for _ in range(12):
-        ssd.write_pages(rng.permutation(n)[: n // 2].astype(np.int64),
-                        background=True)
-    delta = ssd.smart.delta(baseline)
-    return delta.nand_bytes_written / delta.host_bytes_written
+CAMPAIGN = CampaignSpec(
+    name="ablation-gc-policy",
+    base=ExperimentSpec(
+        engine=Engine.BTREE,
+        capacity_bytes=32 * MIB,
+        dataset_fraction=0.75,
+        duration_capacity_writes=3.0,
+        sample_interval=0.2,
+    ),
+    axes={"gc_policy": POLICIES},
+)
 
 
 def test_gc_policy_ablation(benchmark, archive):
-    results = run_once(
-        benchmark,
-        lambda: {name: measure_policy(name)
-                 for name in ("greedy", "windowed-greedy", "fifo")},
-    )
-    text = render_table(
-        ["GC policy", "steady WA-D (full-device random overwrite)"],
-        [[name, f"{wad:.2f}"] for name, wad in results.items()],
-        title="Ablation: GC victim-selection policy",
-    )
-    archive("ablation_gc_policy", text)
-    assert results["greedy"] <= results["windowed-greedy"] + 0.05
-    assert results["greedy"] < results["fifo"]
+    outcome = run_once(benchmark, lambda: run_campaign(CAMPAIGN))
+    wad = {
+        cell.spec.gc_policy: cell.record["steady"]["wa_d"]
+        for cell in outcome.cells
+    }
+    archive("ablation_gc_policy",
+            render_campaign(outcome.records,
+                            title="Ablation: GC victim-selection policy"))
+    assert set(wad) == set(POLICIES)
+    assert wad["greedy"] <= wad["windowed-greedy"] + 0.05
+    assert wad["greedy"] < wad["fifo"]

@@ -53,3 +53,24 @@ def fraction_below(values, threshold: float) -> float:
     if v.size == 0:
         return 0.0
     return float((v < threshold).mean())
+
+
+def slo_attainment(latencies, slo_seconds: float,
+                   offered: int | None = None) -> float:
+    """Fraction of offered operations answered within the SLO.
+
+    *latencies* are the completed ops' response times; an op meets the
+    SLO when its response time is ``<= slo_seconds`` (inclusive, so a
+    latency exactly at the objective attains it).  When *offered* is
+    given, it is the denominator — operations that were rejected at
+    admission or never completed count as misses, which is the fleet
+    definition (DESIGN.md §10.3).  With no offered count the fraction
+    is over completed ops only.
+    """
+    if slo_seconds <= 0:
+        raise ConfigError("slo_seconds must be positive")
+    v = np.asarray(latencies, dtype=np.float64)
+    denom = offered if offered is not None else v.size
+    if denom <= 0:
+        return 0.0
+    return float((v <= slo_seconds).sum() / denom)

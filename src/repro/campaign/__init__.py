@@ -13,7 +13,7 @@ from repro.campaign.runner import (
     run_campaign,
 )
 from repro.campaign.spec import PRESETS, CampaignSpec
-from repro.campaign.store import CampaignStore, canonical_line
+from repro.campaign.store import CampaignStore, canonical_line, merge_stores
 
 __all__ = [
     "CampaignOutcome",
@@ -22,5 +22,6 @@ __all__ = [
     "CellOutcome",
     "PRESETS",
     "canonical_line",
+    "merge_stores",
     "run_campaign",
 ]

@@ -194,4 +194,34 @@ PRESETS: dict[str, CampaignSpec] = {
             "nclients": (1, 4, 16, 64),
         },
     ),
+    #: The fleet SLO sweep (DESIGN.md §10): latency and goodput vs
+    #: *offered* load, per engine and shard count, under open-loop
+    #: Poisson traffic with bounded admission.  The rate axis brackets
+    #: saturation for both engines at this scale — the low rate leaves
+    #: both healthy, the middle one saturates the B+Tree while the LSM
+    #: still attains its SLO, and the high one drives both past their
+    #: goodput ceiling — so the rendered table shows the
+    #: latency-vs-offered-load inflection the paper's methodology is
+    #: about.
+    "fleet-slo": CampaignSpec(
+        name="fleet-slo",
+        base=ExperimentSpec(
+            capacity_bytes=24 * MIB,
+            dataset_fraction=0.4,
+            duration_capacity_writes=1.5,
+            sample_interval=0.1,
+            max_ops=15_000,
+            arrival="poisson",
+            # Placeholder so the base validates; every cell overrides
+            # it from the arrival_rate axis.
+            arrival_rate=2000.0,
+            queue_cap=32,
+            slo_ms=5.0,
+        ),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "nshards": (1, 2),
+            "arrival_rate": (2000.0, 8000.0, 32000.0),
+        },
+    ),
 }

@@ -12,6 +12,9 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigError
 
 
 def canonical_line(record: dict) -> str:
@@ -44,6 +47,29 @@ class CampaignStore:
                     records[cell] = record
         return records
 
+    def records(self) -> list[tuple[str, dict]]:
+        """(cell hash, record) pairs in file order; tolerates torn lines.
+
+        Unlike :meth:`load` (a last-wins dict for resume lookups), this
+        preserves duplicates and order, which is what merging needs.
+        """
+        if not self.path.exists():
+            return []
+        out: list[tuple[str, dict]] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted campaign
+                cell = record.get("cell")
+                if cell:
+                    out.append((cell, record))
+        return out
+
     def append(self, record: dict) -> None:
         """Durably append one completed cell record."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -51,3 +77,35 @@ class CampaignStore:
             handle.write(canonical_line(record) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+
+def merge_stores(out: str | Path, inputs: Sequence[str | Path]) -> tuple[int, int]:
+    """Concatenate campaign stores into *out*, deduplicating by cell.
+
+    Inputs are taken in order and, within each, in file order; the
+    first record seen for a cell hash wins (cells are deterministic
+    functions of their spec, so duplicates across shards of one
+    campaign are interchangeable — keeping the first keeps the merge
+    stable).  Refuses a non-empty *out* so completed work is never
+    silently mixed into.  Returns ``(merged, duplicates_dropped)``.
+    """
+    out_store = CampaignStore(out)
+    if out_store.records():
+        raise ConfigError(
+            f"{out_store.path} already holds completed cells; merge into a "
+            "fresh file or delete it first"
+        )
+    seen: set[str] = set()
+    merged = dropped = 0
+    for path in inputs:
+        store = CampaignStore(path)
+        if not store.path.exists():
+            raise ConfigError(f"merge input {store.path} does not exist")
+        for cell, record in store.records():
+            if cell in seen:
+                dropped += 1
+                continue
+            seen.add(cell)
+            out_store.append(record)
+            merged += 1
+    return merged, dropped

@@ -20,7 +20,9 @@ from repro.core.experiment import Engine, ExperimentSpec, run_experiment
 from repro.core.figures import FIGURES, SCALES
 from repro.core.pitfalls import PITFALLS, EvaluationPlan, check_plan, render_report
 from repro.core.report import render_campaign, render_series, render_table
+from repro.errors import ConfigError
 from repro.flash.state import DriveState
+from repro.fleet import ARRIVALS, ROUTERS
 from repro.units import MIB
 from repro.workload.keys import DISTRIBUTIONS
 
@@ -102,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--render", metavar="JSONL", default=None,
                           help="render the consolidated table from a finished "
                                "campaign file, running nothing")
+    campaign.add_argument("--merge", metavar="JSONL", nargs="+", default=None,
+                          help="merge campaign files: first path is the "
+                               "(fresh) output, the rest are inputs; "
+                               "duplicate cells are dropped (first wins)")
     campaign.add_argument("--trace", metavar="PREFIX", default=None,
                           help="trace every cell: write one Chrome trace per "
                                "cell to PREFIX-<cellhash>.json and record its "
@@ -196,6 +202,23 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
                         help="measured-phase driver; 'pool' forces the client "
                              "pool even at one client (bit-identical to "
                              "inline, and it records per-op latencies)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="store shards, each with its own SSD; >1 routes "
+                             "keys through the fleet router (DESIGN.md §10)")
+    parser.add_argument("--router", choices=sorted(ROUTERS), default="hash",
+                        help="key-to-shard router (default %(default)s)")
+    parser.add_argument("--arrival", choices=sorted(ARRIVALS), default=None,
+                        help="open-loop arrival process; ops arrive at "
+                             "--arrival-rate instead of being issued by "
+                             "closed-loop clients")
+    parser.add_argument("--arrival-rate", type=float, default=0.0,
+                        help="mean offered load in ops/sec (with --arrival)")
+    parser.add_argument("--queue-cap", type=int, default=64,
+                        help="per-shard admission bound for open-loop runs; "
+                             "arrivals beyond it are rejected, not queued")
+    parser.add_argument("--slo-ms", type=float, default=5.0,
+                        help="response-time SLO in milliseconds (fleet "
+                             "attainment metric; default %(default)s)")
 
 
 def _spec_from_args(args) -> ExperimentSpec:
@@ -216,6 +239,12 @@ def _spec_from_args(args) -> ExperimentSpec:
         seed=args.seed,
         nclients=args.clients,
         driver=args.driver,
+        nshards=args.shards,
+        router=args.router,
+        arrival=args.arrival,
+        arrival_rate=args.arrival_rate,
+        queue_cap=args.queue_cap,
+        slo_ms=args.slo_ms,
     )
 
 
@@ -255,7 +284,10 @@ def _cmd_run(args) -> int:
     ))
     if result.out_of_space:
         print("RUN ENDED: out of space")
-    if result.client_latencies is not None:
+    open_loop = result.fleet is not None and result.fleet["arrival"] is not None
+    if result.client_latencies is not None and not open_loop:
+        # Open-loop latencies are per shard, not per client; the fleet
+        # per-shard breakdown below already covers them.
         rows = [
             [str(row["client"]), str(row["ops"]), f"{row['mean'] * 1e6:.0f}",
              f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
@@ -267,6 +299,8 @@ def _cmd_run(args) -> int:
             rows,
             title=f"per-client latency ({args.clients} clients)",
         ))
+    if result.fleet is not None:
+        print(_render_fleet(result.fleet))
     if result.steady:
         steady = result.steady
         print(
@@ -287,6 +321,50 @@ def _cmd_run(args) -> int:
         print(f"trace written to {args.trace} ({nevents} events; "
               f"open at https://ui.perfetto.dev)")
     return 0
+
+
+def _render_fleet(fleet: dict) -> str:
+    """Fleet summary block for `repro run`: load line + per-shard table."""
+    lines = []
+    if fleet["arrival"] is not None:
+        lines.append(
+            f"fleet ({fleet['nshards']} shard(s), {fleet['router']} router, "
+            f"{fleet['arrival']} arrivals @ {fleet['arrival_rate']:g}/s, "
+            f"queue cap {fleet['queue_cap']}): "
+            f"offered {fleet['offered']} (measured {fleet['offered_rate']:.0f}/s), "
+            f"admitted {fleet['admitted']}, rejected {fleet['rejected']}, "
+            f"goodput {fleet['goodput']:.0f} ops/s, "
+            f"SLO({fleet['slo_ms']:g} ms) attainment "
+            f"{fleet['slo_attainment'] * 100:.1f}%"
+        )
+    else:
+        lines.append(
+            f"fleet ({fleet['nshards']} shard(s), {fleet['router']} router, "
+            f"closed-loop): {fleet['completed']} ops, "
+            f"goodput {fleet['goodput']:.0f} ops/s, "
+            f"SLO({fleet['slo_ms']:g} ms) attainment "
+            f"{fleet['slo_attainment'] * 100:.1f}%"
+        )
+    per_shard = fleet["per_shard"]
+    if per_shard and "p95" in per_shard[0]:
+        rows = [
+            [str(row["shard"]), str(row["offered"]), str(row["admitted"]),
+             str(row["rejected"]), str(row["ops"]),
+             f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
+             f"{row['p99'] * 1e6:.0f}", str(row["qdepth_max"]),
+             f"{row['qdepth_mean']:.2f}"]
+            for row in per_shard
+        ]
+        lines.append(render_table(
+            ["shard", "offered", "admitted", "rejected", "ops", "p50 us",
+             "p95 us", "p99 us", "qd max", "qd mean"],
+            rows, title="per-shard breakdown",
+        ))
+    else:
+        rows = [[str(row["shard"]), str(row["ops"])] for row in per_shard]
+        lines.append(render_table(["shard", "ops"], rows,
+                                  title="per-shard breakdown"))
+    return "\n".join(lines)
 
 
 def _cmd_trace(args) -> int:
@@ -311,6 +389,21 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.merge is not None:
+        from repro.campaign import merge_stores
+
+        if len(args.merge) < 2:
+            print("error: --merge needs an output path and at least one input")
+            return 2
+        out, inputs = args.merge[0], args.merge[1:]
+        try:
+            merged, dropped = merge_stores(out, inputs)
+        except ConfigError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(f"merged {merged} cell(s) from {len(inputs)} file(s) into {out}"
+              + (f" ({dropped} duplicate(s) dropped)" if dropped else ""))
+        return 0
     if args.render is not None:
         from repro.campaign.store import CampaignStore
 

@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro import rng as rng_mod
+from repro.analysis.stats import slo_attainment
 from repro.block.blktrace import BlkTrace
 from repro.block.device import BlockDevice
 from repro.block.iostat import IOStat
@@ -35,6 +36,10 @@ from repro.flash.gc import make_policy
 from repro.flash.profiles import get_profile
 from repro.flash.ssd import SSD
 from repro.flash.state import DriveState, apply_drive_state
+from repro.fleet.arrival import make_arrival, validate_arrival
+from repro.fleet.pool import FleetOutcome, FleetPool
+from repro.fleet.router import ROUTERS, make_router
+from repro.fleet.sharded import FleetFilesystem, FleetSSD, ShardedStore
 from repro.fs.filesystem import ExtentFilesystem
 from repro.lsm.config import LSMConfig
 from repro.lsm.store import LSMStore
@@ -82,6 +87,19 @@ class ExperimentSpec:
     #: the queue-depth campaign needs at depth 1); "inline" forces the
     #: single-client runner.
     driver: str = "auto"
+    #: Fleet shape (DESIGN.md §10): >1 splits the device budget into N
+    #: independent shard stacks behind a key router on one clock.
+    nshards: int = 1
+    router: str = "hash"  # key→shard discipline: "hash" or "range"
+    #: Open-loop traffic: an arrival-process name ("poisson",
+    #: "diurnal", "bursty") switches the measured phase from
+    #: closed-loop clients to arrival-driven sources at
+    #: ``arrival_rate`` ops/s; None keeps the closed-loop drivers.
+    arrival: str | None = None
+    arrival_rate: float = 0.0
+    arrival_options: dict = field(default_factory=dict)
+    queue_cap: int = 64  # per-shard admission bound (open-loop only)
+    slo_ms: float = 5.0  # response-time objective for SLO attainment
     sample_interval: float = 0.25
     seed: int = rng_mod.DEFAULT_SEED
     fs_strategy: str = "scatter"
@@ -125,6 +143,37 @@ class ExperimentSpec:
         if self.driver == "inline" and self.nclients > 1:
             raise ConfigError("the inline driver is single-client; "
                               "use driver='auto' or 'pool' with nclients > 1")
+        if self.nshards < 1:
+            raise ConfigError("nshards must be >= 1")
+        if self.router not in ROUTERS:
+            raise ConfigError(
+                f"unknown router {self.router!r}; "
+                f"expected one of {sorted(ROUTERS)}"
+            )
+        if self.queue_cap < 1:
+            raise ConfigError("queue_cap must be >= 1")
+        if self.slo_ms <= 0:
+            raise ConfigError("slo_ms must be positive")
+        if self.arrival is not None:
+            # Validates the process name, the rate (> 0) and the
+            # option names/values through the constructors themselves.
+            validate_arrival(self.arrival, self.arrival_rate,
+                             self.arrival_options)
+            if self.nclients > 1:
+                raise ConfigError(
+                    "open-loop arrivals replace closed-loop clients; "
+                    "nclients must be 1 when arrival is set"
+                )
+            if self.driver == "inline":
+                raise ConfigError(
+                    "open-loop arrivals need the event-driven fleet "
+                    "driver; driver='inline' is closed-loop only"
+                )
+        elif self.arrival_rate:
+            raise ConfigError("arrival_rate requires an arrival process")
+        if self.nshards > 1 and self.trace_lba:
+            raise ConfigError("trace_lba is single-device only; "
+                              "it is not supported with nshards > 1")
 
     @property
     def nkeys(self) -> int:
@@ -154,6 +203,7 @@ class ExperimentSpec:
         spec["drive_state"] = DriveState(self.drive_state).value
         spec["engine_options"] = dict(self.engine_options)
         spec["ssd_options"] = dict(self.ssd_options)
+        spec["arrival_options"] = dict(self.arrival_options)
         return spec
 
     @classmethod
@@ -201,6 +251,7 @@ class ExperimentResult:
     per_client_ops: list[int] | None = None
     kv_ops: dict[str, int] = field(default_factory=dict)  # puts/gets/scans/deletes
     attribution: dict[str, Any] | None = None  # traced runs only (repro.obs)
+    fleet: dict[str, Any] | None = None  # fleet runs only (DESIGN.md §10.3)
 
     @property
     def completed(self) -> bool:
@@ -241,19 +292,31 @@ class ExperimentResult:
             "per_client_ops": self.per_client_ops,
             "kv_ops": dict(self.kv_ops),
             "attribution": self.attribution,
+            "fleet": self.fleet,
         }
 
 
-def build_stack(spec: ExperimentSpec):
+def build_stack(spec: ExperimentSpec, clock: VirtualClock | None = None,
+                iostat: IOStat | None = None):
     """Assemble (clock, ssd, device, partition, fs, store, iostat, trace)
-    for a spec, with the drive already in its initial state."""
-    clock = VirtualClock()
+    for a spec, with the drive already in its initial state.
+
+    ``clock``/``iostat`` let a fleet build share one timeline and one
+    device-throughput monitor across shard stacks (IOStat is an
+    accumulator, so attaching the same instance to every shard's
+    device yields fleet-aggregate rates); by default each stack gets
+    its own, exactly as before.
+    """
+    if clock is None:
+        clock = VirtualClock()
     profile = get_profile(spec.ssd, spec.capacity_bytes)
     if spec.ssd_options:
         profile = replace(profile, **spec.ssd_options)
     ssd = SSD(profile, clock, make_policy(spec.gc_policy))
     device = BlockDevice(ssd)
-    iostat = IOStat(device.page_size, bin_seconds=min(0.05, spec.sample_interval / 5))
+    if iostat is None:
+        iostat = IOStat(device.page_size,
+                        bin_seconds=min(0.05, spec.sample_interval / 5))
     device.attach(iostat)
     trace = None
     if spec.trace_lba:
@@ -300,7 +363,15 @@ def run_experiment(spec: ExperimentSpec,
     phase (the load phase is not traced), and is a parameter rather
     than a spec field so traced and untraced runs share the same
     ``stable_hash``.  Tracing never changes simulated results.
+
+    Fleet specs — more than one shard, or an open-loop arrival process
+    — dispatch to :func:`run_fleet_experiment`; the single-store
+    closed-loop path below is byte-for-byte the seed's (the
+    ``nshards=1`` compatibility contract, DESIGN.md §10.4).
+    ``use_client_pool`` applies to the single-store path only.
     """
+    if spec.nshards > 1 or spec.arrival is not None:
+        return run_fleet_experiment(spec, batched=batched, tracer=tracer)
     clock, ssd, _device, _partition, fs, store, iostat, trace = build_stack(spec)
     attach_tracer(tracer, clock=clock, ssd=ssd, store=store)
     workload = spec.workload()
@@ -352,14 +423,7 @@ def run_experiment(spec: ExperimentSpec,
                 max_ops=spec.max_ops,
                 batch=batched,
             )
-        # Close the series, unless the final window is too small to be
-        # meaningful (partial windows distort windowed rates).
-        if clock.now - run_start >= spec.sample_interval * 0.5 and (
-            not collector.samples
-            or clock.now - (collector.samples[-1].t + run_start)
-            >= spec.sample_interval * 0.5
-        ):
-            collector.sample()
+        _close_series(collector, spec, clock, run_start)
 
     samples = collector.samples
     steady = summarize(samples) if samples else None
@@ -395,3 +459,233 @@ def _make_store(spec: ExperimentSpec, fs: ExtentFilesystem, clock: VirtualClock)
     if engine is Engine.LSM:
         return LSMStore(fs, clock, LSMConfig(**spec.engine_options))
     return BTreeStore(fs, clock, BTreeConfig(**spec.engine_options))
+
+
+def _close_series(collector, spec, clock, run_start) -> None:
+    """Close the time series, unless the final window is too small to
+    be meaningful (partial windows distort windowed rates)."""
+    if clock.now - run_start >= spec.sample_interval * 0.5 and (
+        not collector.samples
+        or clock.now - (collector.samples[-1].t + run_start)
+        >= spec.sample_interval * 0.5
+    ):
+        collector.sample()
+
+
+# ----------------------------------------------------------------------
+# Fleet experiments (DESIGN.md §10)
+# ----------------------------------------------------------------------
+
+def _shard_seed(seed: int, shard: int) -> int:
+    """Deterministic per-shard seed; shard 0 keeps the spec seed.
+
+    Keeping shard 0 on the unmodified seed makes the 1-shard fleet
+    stack byte-identical to the single-store stack (same drive-state
+    aging, same filesystem scatter), which the equivalence tests pin.
+    """
+    if shard == 0:
+        return seed
+    return (seed + 0x9E3779B97F4A7C15 * shard) & 0xFFFFFFFFFFFFFFFF
+
+
+def build_fleet_stack(spec: ExperimentSpec):
+    """Assemble a fleet of shard stacks behind a router on one clock.
+
+    Each shard owns 1/nshards of the device budget as its own SSD +
+    filesystem + engine instance (independent channels and GC, per
+    Roh et al.'s internal-parallelism observation), aged from a
+    per-shard seed; one shared :class:`IOStat` accumulates fleet-wide
+    device throughput.  Returns ``(clock, store, fleet_ssd, fleet_fs,
+    iostat, shard_ssds, shard_stores)`` where *store* is the
+    router-fronted :class:`~repro.fleet.sharded.ShardedStore`.
+    """
+    clock = VirtualClock()
+    router = make_router(spec.router, spec.nshards, spec.nkeys)
+    shard_capacity = spec.capacity_bytes // spec.nshards
+    iostat = None
+    ssds, filesystems, stores = [], [], []
+    for shard in range(spec.nshards):
+        shard_spec = replace(
+            spec,
+            name=f"{spec.name}/shard{shard}",
+            capacity_bytes=shard_capacity,
+            seed=_shard_seed(spec.seed, shard),
+            nshards=1,
+            arrival=None,
+            arrival_rate=0.0,
+            arrival_options={},
+            nclients=1,
+            driver="auto",
+            trace_lba=False,
+        )
+        _clock, ssd, _device, _partition, fs, st, iostat, _trace = \
+            build_stack(shard_spec, clock=clock, iostat=iostat)
+        ssds.append(ssd)
+        filesystems.append(fs)
+        stores.append(st)
+    store = ShardedStore(stores, router, clock)
+    return clock, store, FleetSSD(ssds), FleetFilesystem(filesystems), \
+        iostat, ssds, stores
+
+
+def run_fleet_experiment(spec: ExperimentSpec, batched: bool = True,
+                         tracer=None) -> ExperimentResult:
+    """Run one fleet experiment (N shards, closed- or open-loop).
+
+    The phases mirror :func:`run_experiment` — sequential load (routed
+    through the sharded store's batch path), drain, measured phase,
+    series close — with the measured phase driven either by the
+    closed-loop :class:`~repro.sim.clients.ClientPool` over the
+    sharded store (``spec.arrival is None``) or the open-loop
+    :class:`~repro.fleet.pool.FleetPool`.  The result additionally
+    carries the fleet summary dict (offered/goodput/SLO + per-shard
+    rows, DESIGN.md §10.3).  ``batched`` governs the load phase and
+    closed-loop clients; open-loop service is inherently per-op.
+    """
+    clock, store, fleet_ssd, fleet_fs, iostat, ssds, stores = \
+        build_fleet_stack(spec)
+    attach_tracer(tracer, clock=clock)
+    for ssd, st in zip(ssds, stores):
+        attach_tracer(tracer, ssd=ssd, store=st)
+    workload = spec.workload()
+    collector = MetricsCollector(
+        clock=clock, ssd=fleet_ssd, iostat=iostat, fs=fleet_fs, store=store,
+        dataset_bytes=workload.dataset_bytes,
+    )
+
+    load = load_sequential(store, workload, batch=batched)
+    if not load.out_of_space:
+        fleet_ssd.drain()
+    collector.start_measurement()
+    if tracer is not None:
+        tracer.enable()
+    peak_util = fleet_fs.utilization()
+    stats_base = [st.stats.snapshot() for st in stores]
+
+    target_bytes = int(spec.duration_capacity_writes * spec.capacity_bytes)
+    run_start = clock.now
+    outcome = load
+    if not load.out_of_space:
+        stop_when = lambda: collector.host_bytes_written() >= target_bytes  # noqa: E731
+        if spec.arrival is not None:
+            arrival = make_arrival(
+                spec.arrival, spec.arrival_rate,
+                rng_mod.substream(spec.seed, "arrival"),
+                **spec.arrival_options,
+            )
+            pool = FleetPool(
+                store,
+                workload,
+                arrival,
+                seed=spec.seed,
+                stop_when=stop_when,
+                sample_interval=spec.sample_interval,
+                on_sample=collector.sample,
+                max_ops=spec.max_ops,
+                queue_cap=spec.queue_cap,
+                ssd=fleet_ssd,
+                tracer=tracer if tracer is not None else NULL_TRACER,
+            )
+        else:
+            pool = ClientPool(
+                store,
+                workload,
+                spec.nclients,
+                seed=spec.seed,
+                stop_when=stop_when,
+                sample_interval=spec.sample_interval,
+                on_sample=collector.sample,
+                max_ops=spec.max_ops,
+                ssd=fleet_ssd,
+                batch=batched,
+                tracer=tracer if tracer is not None else NULL_TRACER,
+            )
+        outcome = pool.run()
+        _close_series(collector, spec, clock, run_start)
+
+    samples = collector.samples
+    steady = summarize(samples) if samples else None
+    peak_util = max(peak_util,
+                    fleet_fs.allocator.peak_used_pages / fleet_fs.allocator.npages)
+    dataset = max(workload.dataset_bytes, 1)
+    run_seconds = clock.now - run_start
+    return ExperimentResult(
+        spec=spec,
+        samples=samples,
+        steady=steady,
+        out_of_space=outcome.out_of_space or load.out_of_space,
+        load_seconds=load.load_seconds,
+        run_seconds=run_seconds,
+        ops_issued=outcome.ops_issued,
+        smart=fleet_ssd.smart.as_dict(),
+        peak_disk_utilization=peak_util,
+        peak_space_amp=fleet_fs.peak_used_bytes / dataset,
+        client_latencies=getattr(outcome, "latencies", None),
+        per_client_ops=getattr(outcome, "per_client_ops", None),
+        kv_ops={
+            "puts": store.stats.puts,
+            "gets": store.stats.gets,
+            "scans": store.stats.scans,
+            "deletes": store.stats.deletes,
+        },
+        attribution=tracer.attribution.as_dict() if tracer is not None else None,
+        fleet=_fleet_summary(spec, outcome, stores, stats_base, run_seconds),
+    )
+
+
+def _fleet_summary(spec, outcome, stores, stats_base, run_seconds):
+    """The fleet block of a result: offered vs goodput, SLO, per-shard.
+
+    Metric definitions (DESIGN.md §10.3): *offered* counts every op
+    the traffic model generated, *goodput* is completed ops per
+    second, and *SLO attainment* divides ops answered within
+    ``slo_ms`` by *offered* — rejected and still-queued ops count as
+    misses.  Closed-loop runs have no admission control, so offered ==
+    completed and attainment reduces to the within-SLO fraction.
+    """
+    latencies = getattr(outcome, "latencies", None)
+    completed = outcome.ops_issued
+    offered = getattr(outcome, "offered", completed)
+    slo_seconds = spec.slo_ms / 1e3
+    pooled = latencies.pooled() if latencies is not None else []
+    summary = {
+        "nshards": spec.nshards,
+        "router": spec.router,
+        "arrival": spec.arrival,
+        "arrival_rate": spec.arrival_rate if spec.arrival else None,
+        "queue_cap": spec.queue_cap if spec.arrival else None,
+        "slo_ms": spec.slo_ms,
+        "offered": offered,
+        "admitted": getattr(outcome, "admitted", completed),
+        "rejected": getattr(outcome, "rejected", 0),
+        "completed": completed,
+        "offered_rate": offered / run_seconds if run_seconds > 0 else 0.0,
+        "goodput": completed / run_seconds if run_seconds > 0 else 0.0,
+        "slo_attainment": slo_attainment(pooled, slo_seconds, offered=offered),
+        "per_shard": [],
+    }
+    open_loop = isinstance(outcome, FleetOutcome)
+    for shard, st in enumerate(stores):
+        if open_loop:
+            data = latencies.series(shard)
+            row = {
+                "shard": shard,
+                "offered": outcome.offered_per_shard[shard],
+                "admitted": outcome.admitted_per_shard[shard],
+                "rejected": outcome.rejected_per_shard[shard],
+                "ops": outcome.completed_per_shard[shard],
+                "p50": float(np.percentile(data, 50)) if data.size else 0.0,
+                "p95": float(np.percentile(data, 95)) if data.size else 0.0,
+                "p99": float(np.percentile(data, 99)) if data.size else 0.0,
+                "qdepth_max": outcome.qdepth_max[shard],
+                "qdepth_mean": outcome.qdepth_mean(shard),
+            }
+        else:
+            # Closed-loop: latencies are per *client*, not per shard;
+            # per-shard ops come from the engines' own counters.
+            row = {
+                "shard": shard,
+                "ops": st.stats.delta(stats_base[shard]).ops,
+            }
+        summary["per_shard"].append(row)
+    return summary

@@ -47,16 +47,20 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
     :class:`repro.campaign.store.CampaignStore`), so a finished
     campaign file can be re-rendered without re-running anything
     (``repro campaign --render``).  Tail-latency columns (pooled p95 /
-    p99 across clients, in microseconds) are filled for pool-driven
-    cells; the inline runner records no per-op latencies, so its cells
-    show ``-``.  GC columns come from the device's GC-attributable
-    SMART counters (reclaims and pages moved by garbage collection);
-    records from before those counters existed show ``-``.  Cells run
-    with the flight recorder attached (``--trace``) are followed by
-    their per-op latency attribution tables.
+    p99 across clients — response time across shards for open-loop
+    fleet cells — in microseconds) are filled for pool-driven cells;
+    the inline runner records no per-op latencies, so its cells show
+    ``-``.  Fleet columns (offered ops/s, goodput ops/s, SLO
+    attainment) are filled for fleet cells; fleet cells with per-shard
+    latency rows (open-loop runs) are followed by a per-shard
+    breakdown table, and traced cells by their per-op latency
+    attribution tables.  GC columns come from the device's
+    GC-attributable SMART counters; records from before those counters
+    existed show ``-``.
     """
     rows = []
     attributions = []
+    shard_sections = []
     for record in records:
         spec = record["spec"]
         steady = record.get("steady")
@@ -75,6 +79,15 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
             tail = ["-", "-"]
         else:
             tail = [f"{latency['p95'] * 1e6:.0f}", f"{latency['p99'] * 1e6:.0f}"]
+        fleet = record.get("fleet")
+        if fleet is None:
+            load = ["-", "-", "-"]
+        else:
+            load = [
+                f"{fleet['offered_rate']:.0f}",
+                f"{fleet['goodput']:.0f}",
+                f"{fleet['slo_attainment'] * 100:.1f}",
+            ]
         smart = record.get("smart", {})
         gc = [
             "-" if smart.get("gc_reclaims") is None
@@ -85,27 +98,46 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
         rows.append([
             spec["engine"], spec["ssd"], spec["drive_state"],
             f"{spec['dataset_fraction']:g}", f"{spec['op_reserved_fraction']:g}",
-            str(spec.get("nclients", 1)),
-            *perf, *tail, *gc, status, record["cell"],
+            str(spec.get("nclients", 1)), str(spec.get("nshards", 1)),
+            *perf, *tail, *load, *gc, status, record["cell"],
         ])
+        if fleet is not None and any("p95" in row for row in fleet["per_shard"]):
+            shard_sections.append((record["cell"], fleet))
         if record.get("attribution"):
             attributions.append((record["cell"], record["attribution"]))
     text = render_table(
-        ["engine", "SSD", "state", "data/cap", "OP", "clients", "KOps/s",
-         "WA-A", "WA-D", "space amp", "p95 us", "p99 us", "gc recl",
-         "gc moved", "status", "cell"],
+        ["engine", "SSD", "state", "data/cap", "OP", "clients", "shards",
+         "KOps/s", "WA-A", "WA-D", "space amp", "p95 us", "p99 us",
+         "offer/s", "good/s", "SLO%", "gc recl", "gc moved", "status",
+         "cell"],
         rows, title=title,
     )
+    sections = [text]
+    for cell, fleet in shard_sections:
+        shard_rows = [
+            [str(row["shard"]), str(row["offered"]), str(row["admitted"]),
+             str(row["rejected"]), str(row["ops"]),
+             f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
+             f"{row['p99'] * 1e6:.0f}", str(row["qdepth_max"]),
+             f"{row['qdepth_mean']:.2f}"]
+            for row in fleet["per_shard"]
+        ]
+        sections.append(render_table(
+            ["shard", "offered", "admitted", "rejected", "ops", "p50 us",
+             "p95 us", "p99 us", "qd max", "qd mean"],
+            shard_rows,
+            title=(f"per-shard breakdown [{cell}] "
+                   f"({fleet['arrival']} @ {fleet['arrival_rate']:g}/s, "
+                   f"SLO {fleet['slo_ms']:g} ms)"),
+        ))
     if attributions:
         from repro.obs.attribution import render_attribution
 
-        sections = [text]
         for cell, attribution in attributions:
             sections.append(render_attribution(
                 attribution, title=f"latency attribution [{cell}]",
             ))
-        text = "\n\n".join(sections)
-    return text
+    return "\n\n".join(sections)
 
 
 def _fmt(cell) -> str:

@@ -1,0 +1,249 @@
+"""The open-loop fleet driver (DESIGN.md §10.2).
+
+A :class:`FleetPool` replaces closed-loop clients with one *source*
+task that emits operations on an :class:`~repro.fleet.arrival.
+ArrivalProcess` timeline, routes each through the fleet's router, and
+admits it into the owning shard's bounded FIFO queue; a per-shard
+*service* task (spawned on the idle→busy transition, exiting when its
+queue drains) executes admitted operations one at a time through the
+same :func:`~repro.workload.plan.draw_op` / :func:`~repro.workload.
+runner.apply_op` halves the closed-loop drivers use, so the op stream
+for a given seed is identical — only the *timing* of issue changes.
+
+Overload is observable rather than fatal: when an arrival finds the
+queue at ``queue_cap`` (counting the in-service op) it is *rejected*
+and counted, so offered load, admitted load and goodput diverge
+measurably past saturation instead of the queue growing without
+bound.  Recorded per-op latency is the *response time* (completion −
+arrival), which is the open-loop quantity SLO attainment is defined
+over; queue depth seen by each arrival is accumulated per shard.
+
+Determinism: the arrival timeline comes from the ``"arrival"`` RNG
+substream, the op stream from the seed runner's ``workload-keys`` /
+``workload-ops`` substreams, and all cross-task ordering flows through
+the event heap's ``(time, seq)`` key — a run is a pure function of
+(seed, spec, arrival config, fleet shape).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import rng as rng_mod
+from repro.core.metrics import ClientLatencies
+from repro.errors import NoSpaceError
+from repro.fleet.arrival import ArrivalProcess
+from repro.fleet.sharded import ShardedStore
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.scheduler import Scheduler, TraceEntry
+from repro.workload.keys import make_chooser
+from repro.workload.plan import UPDATE, draw_op
+from repro.workload.runner import (CHECK_EVERY, _after_op_sample, apply_op,
+                                   validate_sampling)
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(slots=True)
+class FleetOutcome:
+    """What happened during an open-loop fleet run.
+
+    Duck-compatible with :class:`repro.workload.runner.RunOutcome`
+    (``ops_issued`` counts *completed* operations).  Offered =
+    admitted + rejected; admitted − completed ops were still queued
+    when the run ended.
+    """
+
+    ops_issued: int = 0
+    out_of_space: bool = False
+    load_seconds: float = 0.0
+    run_seconds: float = 0.0
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    offered_per_shard: list[int] = field(default_factory=list)
+    admitted_per_shard: list[int] = field(default_factory=list)
+    rejected_per_shard: list[int] = field(default_factory=list)
+    completed_per_shard: list[int] = field(default_factory=list)
+    qdepth_max: list[int] = field(default_factory=list)
+    qdepth_sum: list[int] = field(default_factory=list)
+    latencies: ClientLatencies | None = None  # response time, per shard
+    trace: list[TraceEntry] | None = None
+    events_run: int = 0
+
+    def qdepth_mean(self, shard: int) -> float:
+        """Mean queue depth seen by this shard's arrivals."""
+        offered = self.offered_per_shard[shard]
+        return self.qdepth_sum[shard] / offered if offered else 0.0
+
+
+class FleetPool:
+    """Open-loop traffic source + per-shard service tasks."""
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        spec: WorkloadSpec,
+        arrival: ArrivalProcess,
+        seed: int = rng_mod.DEFAULT_SEED,
+        stop_when: Callable[[], bool] = lambda: False,
+        sample_interval: float | None = None,
+        on_sample: Callable[[], None] | None = None,
+        max_ops: int | None = None,
+        queue_cap: int = 64,
+        ssd=None,
+        record_trace: bool = False,
+        tracer=NULL_TRACER,
+    ):
+        validate_sampling(sample_interval, on_sample)
+        self.store = store
+        self.spec = spec
+        self.arrival = arrival
+        self.seed = seed
+        self.stop_when = stop_when
+        self.sample_interval = sample_interval
+        self.on_sample = on_sample
+        self.max_ops = max_ops  # bounds *offered* ops, so overload runs end
+        self.queue_cap = queue_cap
+        self.ssd = ssd
+        self.record_trace = record_trace
+        self.tracer = tracer
+        self.nshards = len(store.shards)
+
+    def run(self) -> FleetOutcome:
+        """Drive source + service tasks to completion; blocking."""
+        clock = self.store.clock
+        scheduler = Scheduler(clock, record_trace=self.record_trace)
+        scheduler.obs_tracer = self.tracer
+        self._scheduler = scheduler
+        # Open-loop runs are inherently concurrent (source + N service
+        # tasks), so the event-driven engine mode and the per-channel
+        # device model are always on — unlike the closed-loop pool,
+        # whose one-client case stays on the seed's inline path.
+        self.store.attach_scheduler(scheduler)
+        if self.ssd is not None:
+            self.ssd.enable_channel_timing()
+        n = self.nshards
+        outcome = FleetOutcome(
+            offered_per_shard=[0] * n,
+            admitted_per_shard=[0] * n,
+            rejected_per_shard=[0] * n,
+            completed_per_shard=[0] * n,
+            qdepth_max=[0] * n,
+            qdepth_sum=[0] * n,
+            latencies=ClientLatencies(n),
+        )
+        self._outcome = outcome
+        self._stop = False
+        self._queues: list[deque] = [deque() for _ in range(n)]
+        self._busy = [False] * n
+        self._version = 1
+        self._next_sample = (
+            clock.now + self.sample_interval if self.sample_interval else None
+        )
+        start = clock.now
+        scheduler.spawn(self._source(), label="arrival-source")
+        try:
+            scheduler.run()
+        except NoSpaceError:
+            # Raised from a scheduled background event (flush,
+            # compaction, checkpoint); the run ends and is reported.
+            outcome.out_of_space = True
+            self._stop = True
+        outcome.run_seconds = clock.now - start
+        outcome.trace = scheduler.trace
+        outcome.events_run = scheduler.events_run
+        return outcome
+
+    # ------------------------------------------------------------------
+    # The traffic source: arrivals → route → admit/reject
+    # ------------------------------------------------------------------
+    def _source(self):
+        spec = self.spec
+        outcome = self._outcome
+        clock = self.store.clock
+        router = self.store.router
+        queues = self._queues
+        busy = self._busy
+        scheduler = self._scheduler
+        arrival = self.arrival
+        queue_cap = self.queue_cap
+        max_ops = self.max_ops
+        stop_when = self.stop_when
+        key_rng = rng_mod.substream(self.seed, "workload-keys")
+        op_rng = rng_mod.substream(self.seed, "workload-ops")
+        chooser = make_chooser(spec.distribution, spec.nkeys, key_rng)
+        while True:
+            if self._stop:
+                break
+            if max_ops is not None and outcome.offered >= max_ops:
+                break
+            if outcome.offered % CHECK_EVERY == 0 and stop_when():
+                self._stop = True
+                break
+            yield arrival.next_gap()  # suspend until the next arrival
+            if self._stop:
+                break
+            kind, key = draw_op(spec, chooser, op_rng)
+            shard = router.shard_for(key)
+            outcome.offered += 1
+            outcome.offered_per_shard[shard] += 1
+            depth = len(queues[shard]) + (1 if busy[shard] else 0)
+            outcome.qdepth_sum[shard] += depth
+            if depth > outcome.qdepth_max[shard]:
+                outcome.qdepth_max[shard] = depth
+            if depth >= queue_cap:
+                outcome.rejected += 1
+                outcome.rejected_per_shard[shard] += 1
+                continue
+            version = 0
+            if kind == UPDATE:
+                # Versions advance per *admitted* update, fleet-global,
+                # so value seeds stay unique and deterministic.
+                version = self._version
+                self._version += 1
+            queues[shard].append((kind, key, version, clock._step_now))
+            outcome.admitted += 1
+            outcome.admitted_per_shard[shard] += 1
+            if not busy[shard]:
+                busy[shard] = True
+                scheduler.spawn(self._service(shard), label=f"shard{shard}")
+
+    # ------------------------------------------------------------------
+    # Per-shard service: FIFO, one op outstanding, exits when drained
+    # ------------------------------------------------------------------
+    def _service(self, shard: int):
+        spec = self.spec
+        outcome = self._outcome
+        store = self.store.shards[shard]  # already routed: go direct
+        clock = store.clock
+        queue = self._queues[shard]
+        sink = outcome.latencies.sink(shard)
+        tracer = self.tracer
+        tr_on = tracer.enabled
+        while queue:
+            kind, key, version, t_arr = queue.popleft()
+            if tr_on:
+                tracer.tid = shard
+                tracer.shard = shard
+            try:
+                _version, _latency = apply_op(store, spec, kind, key, version)
+            except NoSpaceError:
+                outcome.out_of_space = True
+                self._stop = True
+                break
+            # Service tasks run inside an event step; the capture-mode
+            # step time is the op's completion time (see ClientPool).
+            now = clock._step_now
+            sink.append(now - t_arr)  # response = queueing + service
+            outcome.ops_issued += 1
+            outcome.completed_per_shard[shard] += 1
+            self._next_sample = _after_op_sample(
+                clock, self._next_sample, self.sample_interval, self.on_sample
+            )
+            yield 0.0  # suspend until this op's completion time
+        self._busy[shard] = False
+        # Anchor the final op's completion on the timeline (step-local
+        # time is discarded when a task returns).
+        yield 0.0

@@ -71,8 +71,10 @@ def _check_op_sum(ev: dict, where: str) -> str | None:
     if not isinstance(args, dict) or "total" not in args:
         return f"{where}: op span without args.total"
     total = args["total"]
+    # "shard" is a label (fleet routing target), not a latency
+    # component, even though it is numeric.
     parts = sum(v for k, v in args.items()
-                if k != "total" and isinstance(v, (int, float)))
+                if k not in ("total", "shard") and isinstance(v, (int, float)))
     # args carry seconds; compare in microseconds like the trace body.
     if abs(total - parts) * 1e6 > SUM_TOLERANCE_US:
         return (f"{where}: op components sum to {parts!r}, "

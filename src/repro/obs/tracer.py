@@ -38,6 +38,7 @@ class NullTracer:
     enabled = False
     in_op = False
     tid = 0
+    shard = None
 
     def enable(self):  # pragma: no cover - trivial
         pass
@@ -92,6 +93,7 @@ class Tracer:
         self.enabled = False
         self.in_op = False
         self.tid = 0
+        self.shard = None  # fleet runs: shard id stamped onto op spans
         self._comp: dict[str, float] = {}
         self._suspended = False
 
@@ -160,6 +162,8 @@ class Tracer:
         comp["cpu_other"] = comp.get("cpu_other", 0.0) + residual
         self.attribution.add(kind, latency, comp)
         args = {"total": latency}
+        if self.shard is not None:
+            args["shard"] = self.shard
         args.update(comp)
         self.sink.append(("X", t0, latency, f"op:{kind}", "op", self.tid, args))
         self.in_op = False
@@ -180,6 +184,8 @@ class Tracer:
             comp = {"cpu_other": latency}
         self.attribution.add(kind, latency, comp)
         args = {"total": latency}
+        if self.shard is not None:
+            args["shard"] = self.shard
         args.update(comp)
         self.sink.append(("X", t0, latency, f"op:{kind}", "op", self.tid, args))
 

@@ -65,7 +65,8 @@ from repro.workload.keys import make_chooser
 from repro.workload.plan import (
     READ, SCAN, UPDATE, BatchPlanner, EventAwareUntil, update_seeds,
 )
-from repro.workload.runner import CHECK_EVERY, issue_one_op, validate_sampling
+from repro.workload.runner import (CHECK_EVERY, _after_op_sample, issue_one_op,
+                                   validate_sampling)
 from repro.workload.spec import WorkloadSpec
 
 
@@ -357,13 +358,6 @@ class ClientPool:
 
     def _maybe_sample(self, clock) -> None:
         """The inline runner's boundary-crossing sampler, pool-global."""
-        if self._next_sample is None:
-            return
-        now = clock.now
-        if now >= self._next_sample:
-            self.on_sample()
-            self._next_sample += self.sample_interval
-            if self._next_sample <= now:
-                # A stall carried the clock past several boundaries;
-                # resynchronize instead of firing empty windows.
-                self._next_sample = now + self.sample_interval
+        self._next_sample = _after_op_sample(
+            clock, self._next_sample, self.sample_interval, self.on_sample
+        )

@@ -75,11 +75,7 @@ class BatchPlanner:
         self.spec = spec
         self.chooser = chooser
         self.op_rng = op_rng
-        self.thresholds = np.array([
-            spec.read_fraction,
-            spec.read_fraction + spec.scan_fraction,
-            spec.read_fraction + spec.scan_fraction + spec.delete_fraction,
-        ])
+        self.thresholds = np.array(spec.thresholds())
         self._update_only = self.thresholds[-1] == 0.0
 
     def plan(self, n: int) -> list[OpRun]:
@@ -102,6 +98,30 @@ class BatchPlanner:
             runs.append(OpRun(kind, keys[i:j]))
             i = j
         return runs
+
+
+def draw_op(spec: WorkloadSpec, chooser: KeyChooser,
+            op_rng: np.random.Generator) -> tuple[int, int]:
+    """Draw the next (kind, key) of a client's op stream.
+
+    The scalar half of the shared op-issue path: one key draw followed
+    by one op-kind draw, dispatched through the cumulative thresholds
+    with strict ``<`` in (read, scan, delete, else update) order —
+    the exact comparison chain the planner's ``searchsorted(side=
+    "right")`` split replicates, so every driver (inline runner,
+    closed-loop pool, open-loop fleet sources) produces the same op
+    stream from the same substreams.
+    """
+    key = chooser.next_key()
+    draw = op_rng.random()
+    t_read, t_scan, t_delete = spec.thresholds()
+    if draw < t_read:
+        return READ, key
+    if draw < t_scan:
+        return SCAN, key
+    if draw < t_delete:
+        return DELETE, key
+    return UPDATE, key
 
 
 def update_seeds(keys: np.ndarray, version: int) -> np.ndarray:

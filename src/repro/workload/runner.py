@@ -38,7 +38,8 @@ from repro.errors import ConfigError, NoSpaceError
 from repro.kv.api import KVStore
 from repro.kv.values import seeds_for, value_for
 from repro.workload.keys import KeyChooser, make_chooser
-from repro.workload.plan import READ, SCAN, UPDATE, BatchPlanner, update_seeds
+from repro.workload.plan import (READ, SCAN, UPDATE, BatchPlanner, draw_op,
+                                 update_seeds)
 from repro.workload.spec import WorkloadSpec
 
 
@@ -110,6 +111,36 @@ def validate_sampling(sample_interval: float | None,
         raise ConfigError("sample_interval must be positive")
 
 
+def apply_op(
+    store: KVStore,
+    spec: WorkloadSpec,
+    kind: int,
+    key: int,
+    version: int,
+) -> tuple[int, float]:
+    """Execute one already-drawn operation; returns (version, latency).
+
+    The execution half of the shared op-issue path (the drawing half is
+    :func:`repro.workload.plan.draw_op`): every scalar driver — the
+    inline runner, the closed-loop client pool, and the open-loop fleet
+    sources — lands here, so an op of a given kind always touches the
+    store the same way.  The returned latency is the op's user-visible
+    latency, the same value the engines append into a batch call's
+    ``latencies`` sink — so scalar- and batch-driven latency series are
+    bit-identical.
+    """
+    if kind == READ:
+        latency, _value = store.get(key)
+    elif kind == SCAN:
+        latency, _pairs = store.scan(key, spec.scan_length)
+    elif kind == UPDATE:
+        latency = store.put(key, value_for(key, version, spec.value_bytes))
+        version += 1
+    else:  # DELETE
+        latency = store.delete(key)
+    return version, latency
+
+
 def issue_one_op(
     store: KVStore,
     spec: WorkloadSpec,
@@ -119,28 +150,12 @@ def issue_one_op(
 ) -> tuple[int, float]:
     """Issue one operation of *spec*; returns (next version, latency).
 
-    The op mix is drawn as cumulative fractions in a fixed order
-    (read, scan, delete, else update) so the operation stream for a
-    given RNG state is stable across drivers — the inline runner and
-    the event-driven client pool share this dispatch; the batched
-    drivers replicate it through the planner's vectorized kind split
-    (:mod:`repro.workload.plan`).  The returned latency is the op's
-    user-visible latency, the same value the engines append into a
-    batch call's ``latencies`` sink — so scalar- and batch-driven
-    latency series are bit-identical.
+    Composition of the shared draw (:func:`~repro.workload.plan.
+    draw_op`) and execute (:func:`apply_op`) halves; kept as the scalar
+    oracle the batched drivers are pinned against.
     """
-    key = chooser.next_key()
-    draw = op_rng.random()
-    if draw < spec.read_fraction:
-        latency, _value = store.get(key)
-    elif draw < spec.read_fraction + spec.scan_fraction:
-        latency, _pairs = store.scan(key, spec.scan_length)
-    elif draw < spec.read_fraction + spec.scan_fraction + spec.delete_fraction:
-        latency = store.delete(key)
-    else:
-        latency = store.put(key, value_for(key, version, spec.value_bytes))
-        version += 1
-    return version, latency
+    kind, key = draw_op(spec, chooser, op_rng)
+    return apply_op(store, spec, kind, key, version)
 
 
 def run_workload(

@@ -43,6 +43,20 @@ class WorkloadSpec:
                 "delete_fraction + scan_fraction + read_fraction must be <= 1"
             )
 
+    def thresholds(self) -> tuple[float, float, float]:
+        """Cumulative op-kind thresholds in (read, scan, delete) order.
+
+        The single source of the op-mix draw shared by every driver:
+        the scalar dispatch compares ``draw < threshold`` in this order
+        (:func:`repro.workload.plan.draw_op`) and the batch planner
+        feeds the same three floats to its vectorized ``searchsorted``
+        split, so a draw maps to the same op kind everywhere.
+        """
+        read = self.read_fraction
+        scan = read + self.scan_fraction
+        delete = scan + self.delete_fraction
+        return (read, scan, delete)
+
     @property
     def dataset_bytes(self) -> int:
         """Application dataset size: keys plus values (16-byte keys)."""

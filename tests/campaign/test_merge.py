@@ -1,0 +1,67 @@
+"""Merging campaign stores: dedupe, ordering, refusal semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignStore, merge_stores
+from repro.errors import ConfigError
+
+
+def write_store(path, records):
+    store = CampaignStore(path)
+    for record in records:
+        store.append(record)
+    return store
+
+
+def cells_in(path):
+    return [cell for cell, _record in CampaignStore(path).records()]
+
+
+def test_merge_concatenates_and_dedupes(tmp_path):
+    write_store(tmp_path / "a.jsonl",
+                [{"cell": "aaa", "x": 1}, {"cell": "bbb", "x": 2}])
+    write_store(tmp_path / "b.jsonl",
+                [{"cell": "bbb", "x": 9}, {"cell": "ccc", "x": 3}])
+    merged, dropped = merge_stores(
+        tmp_path / "out.jsonl", [tmp_path / "a.jsonl", tmp_path / "b.jsonl"])
+    assert (merged, dropped) == (3, 1)
+    assert cells_in(tmp_path / "out.jsonl") == ["aaa", "bbb", "ccc"]
+    # First wins: cells are deterministic functions of their spec, so
+    # keeping the earliest record keeps the merge stable.
+    records = dict(CampaignStore(tmp_path / "out.jsonl").records())
+    assert records["bbb"]["x"] == 2
+
+
+def test_merge_refuses_nonempty_output(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
+    write_store(tmp_path / "out.jsonl", [{"cell": "old"}])
+    with pytest.raises(ConfigError, match="already holds completed cells"):
+        merge_stores(tmp_path / "out.jsonl", [tmp_path / "a.jsonl"])
+
+
+def test_merge_missing_input(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
+    with pytest.raises(ConfigError, match="does not exist"):
+        merge_stores(tmp_path / "out.jsonl",
+                     [tmp_path / "a.jsonl", tmp_path / "missing.jsonl"])
+
+
+def test_merge_tolerates_torn_line(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
+    with (tmp_path / "a.jsonl").open("a", encoding="utf-8") as handle:
+        handle.write('{"cell": "tor')  # killed mid-append
+    merged, dropped = merge_stores(tmp_path / "out.jsonl",
+                                   [tmp_path / "a.jsonl"])
+    assert (merged, dropped) == (1, 0)
+
+
+def test_merged_output_is_canonical(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa", "spec": {"z": 1, "a": 2}}])
+    merge_stores(tmp_path / "out.jsonl", [tmp_path / "a.jsonl"])
+    line = (tmp_path / "out.jsonl").read_text(encoding="utf-8").strip()
+    assert line == json.dumps(json.loads(line), sort_keys=True,
+                              separators=(",", ":"))
