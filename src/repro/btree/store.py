@@ -23,7 +23,7 @@ from repro.btree.config import BTreeConfig
 from repro.btree.node import InternalNode, LeafNode
 from repro.btree.pager import Pager
 from repro.core.clock import VirtualClock
-from repro.errors import NoSpaceError, StoreClosedError
+from repro.errors import ConfigError, NoSpaceError, StoreClosedError
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
@@ -223,7 +223,10 @@ class BTreeStore(KVStore):
         ring = config.journal_ring_bytes
         page_size = self.fs.page_size
         fs_device = self.fs.device
-        ring_run = self._ring_run if journal else None
+        # Under fault injection the cached-range shortcut would bypass
+        # the filesystem's retry wrap, so records fall back to pwrite.
+        ring_run = self._ring_run \
+            if journal and self.fs.retry is None else None
         ring_base = ring_run[0] if ring_run is not None else None
         pwrite = self.fs.pwrite
         checkpoint_interval = config.checkpoint_interval
@@ -617,6 +620,68 @@ class BTreeStore(KVStore):
             tracer.span("journal_append", "btree", self.clock.now, latency,
                         {"bytes": nbytes})
         return latency
+
+    # ------------------------------------------------------------------
+    # Crash recovery (fault injection; DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def enable_crash_tracking(self) -> None:
+        """Symmetric with the LSM store's hook; a no-op here.
+
+        The journal is written synchronously on every update, so no
+        per-record tracking is needed to recover — the fleet calls
+        this unconditionally on shards scheduled to be killed.
+        """
+        if not self.config.journal_enabled:
+            raise ConfigError(
+                "crash recovery requires journal_enabled: without the "
+                "journal, updates since the last checkpoint are "
+                "unrecoverable")
+
+    def crash_and_recover(self) -> tuple[float, set[int]]:
+        """Kill the store at the current instant and recover.
+
+        The journal ring is written synchronously on every update, so
+        no committed write is lost — recovery charges re-reading the
+        journal since the last checkpoint plus the metadata file, and
+        restarts with a cold page cache (leaves fault back in on
+        demand; leaves that were dirty at the crash carry state the
+        journal replay reconstructs, and the next checkpoint
+        reconciles them).  Returns ``(recovery_seconds, lost_keys)``
+        with *lost_keys* always empty, WiredTiger's contract with a
+        synchronous log.  The caller schedules the recovery time; the
+        store does not advance the clock itself.
+        """
+        if not self.config.journal_enabled:
+            raise ConfigError(
+                "crash recovery requires journal_enabled: without the "
+                "journal, updates since the last checkpoint are "
+                "unrecoverable")
+        fs = self.fs
+        latency = 0.0
+        replay_bytes = min(self._journal_since_checkpoint,
+                           self.config.journal_ring_bytes)
+        if replay_bytes > 0:
+            read_latency, _ = fs.pread(self.JOURNAL_FILE, 0, replay_bytes)
+            latency += read_latency
+        if fs.exists(self.META_FILE):
+            meta_bytes = fs.file_size(self.META_FILE)
+            if meta_bytes:
+                read_latency, _ = fs.pread(self.META_FILE, 0, meta_bytes)
+                latency += read_latency
+        # The page cache is volatile: restart cold.  The root leaf of a
+        # young tree is pinned back in, mirroring construction.
+        self.cache = PageCache(self.config.cache_bytes)
+        if isinstance(self._root, LeafNode):
+            self.cache.insert(id(self._root), self._root)
+        self._read_cursor = None
+        self._checkpoint_pending = False
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("crash_recover", "fault", {
+                "journal_bytes": replay_bytes,
+                "seconds": latency,
+            })
+        return latency, set()
 
     # ------------------------------------------------------------------
     # Checkpoints

@@ -39,6 +39,12 @@ def _axis_value(value: Any) -> Any:
 
 def _render(value: Any) -> str:
     value = _axis_value(value)
+    if value is None:
+        return "none"
+    if isinstance(value, Mapping):
+        # Fault plans as axis values: compact, comma-free (the cell
+        # label joins axes with commas).
+        return "+".join(f"{k}{_render(v)}" for k, v in value.items())
     if isinstance(value, float):
         return f"{value:g}"
     return str(value)
@@ -68,7 +74,9 @@ class CampaignSpec:
             values = tuple(values)
             if not values:
                 raise ConfigError(f"axis {field_name!r} has no values")
-            if len(set(values)) != len(values):
+            # Dedup on repr: axis values may be unhashable (fault
+            # plans are dicts).
+            if len({repr(v) for v in values}) != len(values):
                 raise ConfigError(f"axis {field_name!r} has duplicate values")
             normalized.append((field_name, values))
         object.__setattr__(self, "name", name)
@@ -222,6 +230,43 @@ PRESETS: dict[str, CampaignSpec] = {
             "engine": (Engine.LSM, Engine.BTREE),
             "nshards": (1, 2),
             "arrival_rate": (2000.0, 8000.0, 32000.0),
+        },
+    ),
+    #: The chaos sweep (DESIGN.md §11): availability, SLO attainment,
+    #: retry amplification and recovery time under injected faults and
+    #: a mid-run shard crash, per engine.  The fault axis brackets a
+    #: clean run against a flaky device (transient read/program errors
+    #: plus latency spikes); the kill axis crashes shard 0 mid-run so
+    #: the WAL-replay (LSM) / journal (B+Tree) recovery paths show up
+    #: in the rendered table.  Fail-fast on the down shard plus retry
+    #: with backoff keeps the run deterministic end to end.
+    "chaos": CampaignSpec(
+        name="chaos",
+        base=ExperimentSpec(
+            capacity_bytes=24 * MIB,
+            dataset_fraction=0.35,
+            duration_capacity_writes=1.5,
+            sample_interval=0.1,
+            max_ops=6_000,
+            nshards=2,
+            arrival="poisson",
+            arrival_rate=4000.0,
+            queue_cap=16,
+            slo_ms=5.0,
+            op_timeout_ms=50.0,
+            # A read mix keeps foreground device I/O in the measured
+            # phase for both engines (the LSM's buffered WAL would
+            # otherwise hide read/latency faults from the percentiles).
+            read_fraction=0.25,
+        ),
+        axes={
+            "engine": (Engine.LSM, Engine.BTREE),
+            "faults": (
+                None,
+                {"read": 0.05, "program": 0.02, "latency": 0.05,
+                 "read_penalty_ms": 2.0},
+            ),
+            "kill_at": (None, 0.05),
         },
     ),
 }

@@ -79,7 +79,8 @@ class CampaignStore:
             os.fsync(handle.fileno())
 
 
-def merge_stores(out: str | Path, inputs: Sequence[str | Path]) -> tuple[int, int]:
+def merge_stores(out: str | Path, inputs: Sequence[str | Path],
+                 force: bool = False) -> tuple[int, int]:
     """Concatenate campaign stores into *out*, deduplicating by cell.
 
     Inputs are taken in order and, within each, in file order; the
@@ -87,15 +88,22 @@ def merge_stores(out: str | Path, inputs: Sequence[str | Path]) -> tuple[int, in
     functions of their spec, so duplicates across shards of one
     campaign are interchangeable — keeping the first keeps the merge
     stable).  Refuses a non-empty *out* so completed work is never
-    silently mixed into.  Returns ``(merged, duplicates_dropped)``.
+    silently mixed into — unless *force*, which instead seeds the
+    dedup set from *out*'s existing cells and appends only new ones
+    (the incremental "fold this shard in" workflow).  Returns
+    ``(merged, duplicates_dropped)``.
     """
     out_store = CampaignStore(out)
-    if out_store.records():
-        raise ConfigError(
-            f"{out_store.path} already holds completed cells; merge into a "
-            "fresh file or delete it first"
-        )
     seen: set[str] = set()
+    existing = out_store.records()
+    if existing:
+        if not force:
+            raise ConfigError(
+                f"{out_store.path} already holds completed cells; merge into "
+                "a fresh file, delete it first, or pass --force to append "
+                "only cells it does not hold yet"
+            )
+        seen.update(cell for cell, _record in existing)
     merged = dropped = 0
     for path in inputs:
         store = CampaignStore(path)

@@ -104,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--render", metavar="JSONL", default=None,
                           help="render the consolidated table from a finished "
                                "campaign file, running nothing")
+    campaign.add_argument("--force", action="store_true",
+                          help="with --merge: allow a non-empty output file, "
+                               "appending only cells it does not hold yet")
     campaign.add_argument("--merge", metavar="JSONL", nargs="+", default=None,
                           help="merge campaign files: first path is the "
                                "(fresh) output, the rest are inputs; "
@@ -219,6 +222,41 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--slo-ms", type=float, default=5.0,
                         help="response-time SLO in milliseconds (fleet "
                              "attainment metric; default %(default)s)")
+    parser.add_argument("--faults", type=_parse_faults, default=None,
+                        metavar="JSON",
+                        help="fault plan as a JSON object, e.g. "
+                             "'{\"read\": 0.01, \"program\": 0.005}' "
+                             "(DESIGN.md §11); off when omitted")
+    parser.add_argument("--kill-at", type=float, default=None,
+                        help="crash a shard this many virtual seconds into "
+                             "the measured phase; it recovers via WAL/journal "
+                             "replay when traffic next routes to it "
+                             "(open-loop runs only)")
+    parser.add_argument("--kill-shard", type=int, default=0,
+                        help="which shard --kill-at crashes "
+                             "(default %(default)s)")
+    parser.add_argument("--retry-limit", type=int, default=3,
+                        help="engine + fleet retry budget per op "
+                             "(default %(default)s)")
+    parser.add_argument("--retry-backoff-ms", type=float, default=0.5,
+                        help="base retry backoff, doubled per attempt "
+                             "(default %(default)s ms)")
+    parser.add_argument("--op-timeout-ms", type=float, default=None,
+                        help="drop queued ops older than this at service "
+                             "time (client deadline; off when omitted)")
+
+
+def _parse_faults(text: str):
+    """argparse type for --faults: a JSON object (validated by the spec)."""
+    import json
+
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise argparse.ArgumentTypeError(f"--faults must be valid JSON: {exc}")
+    if not isinstance(value, dict):
+        raise argparse.ArgumentTypeError("--faults must be a JSON object")
+    return value
 
 
 def _spec_from_args(args) -> ExperimentSpec:
@@ -245,6 +283,12 @@ def _spec_from_args(args) -> ExperimentSpec:
         arrival_rate=args.arrival_rate,
         queue_cap=args.queue_cap,
         slo_ms=args.slo_ms,
+        faults=args.faults,
+        kill_at=args.kill_at,
+        kill_shard=args.kill_shard,
+        retry_limit=args.retry_limit,
+        retry_backoff_ms=args.retry_backoff_ms,
+        op_timeout_ms=args.op_timeout_ms,
     )
 
 
@@ -345,19 +389,35 @@ def _render_fleet(fleet: dict) -> str:
             f"SLO({fleet['slo_ms']:g} ms) attainment "
             f"{fleet['slo_attainment'] * 100:.1f}%"
         )
+    if fleet.get("availability") is not None:
+        lines.append(
+            f"availability {fleet['availability'] * 100:.2f}% "
+            f"(error-budget burn {fleet['error_budget_burn']:.2f}x of "
+            f"{(1 - 0.999) * 100:g}%), "
+            f"retry amplification {fleet['retry_amplification']:.3f}x, "
+            f"failed {fleet['failed']}, timeouts {fleet['timeouts']}, "
+            f"retries {fleet['retries']}, lost keys {fleet['lost_keys']}"
+        )
     per_shard = fleet["per_shard"]
     if per_shard and "p95" in per_shard[0]:
+        chaos = "health" in per_shard[0]
         rows = [
             [str(row["shard"]), str(row["offered"]), str(row["admitted"]),
              str(row["rejected"]), str(row["ops"]),
              f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
              f"{row['p99'] * 1e6:.0f}", str(row["qdepth_max"]),
              f"{row['qdepth_mean']:.2f}"]
+            + ([str(row["failed"]), str(row["retries"]),
+                f"{row['recovery_seconds'] * 1e3:.1f}",
+                f"{row['downtime_seconds'] * 1e3:.1f}", row["health"]]
+               if chaos else [])
             for row in per_shard
         ]
         lines.append(render_table(
             ["shard", "offered", "admitted", "rejected", "ops", "p50 us",
-             "p95 us", "p99 us", "qd max", "qd mean"],
+             "p95 us", "p99 us", "qd max", "qd mean"]
+            + (["failed", "retries", "recov ms", "down ms", "health"]
+               if chaos else []),
             rows, title="per-shard breakdown",
         ))
     else:
@@ -397,7 +457,7 @@ def _cmd_campaign(args) -> int:
             return 2
         out, inputs = args.merge[0], args.merge[1:]
         try:
-            merged, dropped = merge_stores(out, inputs)
+            merged, dropped = merge_stores(out, inputs, force=args.force)
         except ConfigError as exc:
             print(f"error: {exc}")
             return 1

@@ -32,12 +32,13 @@ from repro.core.clock import VirtualClock
 from repro.core.metrics import ClientLatencies, MetricsCollector, Sample
 from repro.core.steady_state import SteadySummary, summarize
 from repro.errors import ConfigError
+from repro.faults import FaultPlan, RetryPolicy, validate_faults
 from repro.flash.gc import make_policy
 from repro.flash.profiles import get_profile
 from repro.flash.ssd import SSD
 from repro.flash.state import DriveState, apply_drive_state
 from repro.fleet.arrival import make_arrival, validate_arrival
-from repro.fleet.pool import FleetOutcome, FleetPool
+from repro.fleet.pool import AVAILABILITY_TARGET, FleetOutcome, FleetPool
 from repro.fleet.router import ROUTERS, make_router
 from repro.fleet.sharded import FleetFilesystem, FleetSSD, ShardedStore
 from repro.fs.filesystem import ExtentFilesystem
@@ -108,6 +109,24 @@ class ExperimentSpec:
     trace_lba: bool = False
     engine_options: dict = field(default_factory=dict)
     ssd_options: dict = field(default_factory=dict)  # SSDConfig overrides
+    #: Fault injection (repro.faults, DESIGN.md §11): a dict of fault
+    #: kinds, e.g. ``{"program": 0.01, "latency": 0.005}``.  None (the
+    #: default) keeps every fault hook a no-op and all fingerprints
+    #: byte-identical to the fault-free build.
+    faults: dict | None = None
+    #: Chaos schedule (open-loop fleet runs only): kill shard
+    #: ``kill_shard`` at ``kill_at`` seconds into the measured phase;
+    #: it rebuilds via WAL replay / journal recovery on first contact.
+    kill_at: float | None = None
+    kill_shard: int = 0
+    #: Bounded retry-with-backoff, shared by the engine tier (device
+    #: submissions under fault injection) and the fleet tier (ops
+    #: bounced off down shards).
+    retry_limit: int = 3
+    retry_backoff_ms: float = 0.5
+    #: Per-op service timeout in the open-loop fleet (queued ops older
+    #: than this fail instead of being served); None disables it.
+    op_timeout_ms: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.dataset_fraction:
@@ -174,6 +193,27 @@ class ExperimentSpec:
         if self.nshards > 1 and self.trace_lba:
             raise ConfigError("trace_lba is single-device only; "
                               "it is not supported with nshards > 1")
+        if self.faults is not None:
+            validate_faults(self.faults)
+        if self.retry_limit < 0:
+            raise ConfigError("retry_limit must be >= 0")
+        if self.retry_backoff_ms < 0:
+            raise ConfigError("retry_backoff_ms must be >= 0")
+        if self.op_timeout_ms is not None and self.op_timeout_ms <= 0:
+            raise ConfigError("op_timeout_ms must be positive")
+        if self.kill_at is not None:
+            if self.kill_at <= 0:
+                raise ConfigError("kill_at must be positive")
+            if self.arrival is None:
+                raise ConfigError(
+                    "kill_at requires an open-loop arrival process; "
+                    "closed-loop drivers have no fail-fast path")
+            if not 0 <= self.kill_shard < self.nshards:
+                raise ConfigError(
+                    f"kill_shard must be in [0, nshards); got "
+                    f"{self.kill_shard} with nshards={self.nshards}")
+        elif self.kill_shard:
+            raise ConfigError("kill_shard requires kill_at")
 
     @property
     def nkeys(self) -> int:
@@ -337,6 +377,13 @@ def build_stack(spec: ExperimentSpec, clock: VirtualClock | None = None,
         seed=spec.seed,
     )
     store = _make_store(spec, fs, clock)
+    if spec.faults is not None:
+        # Fault draws come from a dedicated substream so two runs of
+        # the same fault-injected spec are identical, and the engines
+        # absorb transient errors through the filesystem's retry wrap.
+        ssd.faults = FaultPlan(spec.faults,
+                               rng_mod.substream(spec.seed, "faults"))
+        fs.retry = RetryPolicy(spec.retry_limit, spec.retry_backoff_ms / 1e3)
     return clock, ssd, device, partition, fs, store, iostat, trace
 
 
@@ -517,6 +564,8 @@ def build_fleet_stack(spec: ExperimentSpec):
             nclients=1,
             driver="auto",
             trace_lba=False,
+            kill_at=None,
+            kill_shard=0,
         )
         _clock, ssd, _device, _partition, fs, st, iostat, _trace = \
             build_stack(shard_spec, clock=clock, iostat=iostat)
@@ -524,6 +573,10 @@ def build_fleet_stack(spec: ExperimentSpec):
         filesystems.append(fs)
         stores.append(st)
     store = ShardedStore(stores, router, clock)
+    if spec.kill_at is not None:
+        # The victim shard records per-key WAL/journal positions so the
+        # crash can compute exactly which writes the lost buffers held.
+        stores[spec.kill_shard].enable_crash_tracking()
     return clock, store, FleetSSD(ssds), FleetFilesystem(filesystems), \
         iostat, ssds, stores
 
@@ -585,6 +638,12 @@ def run_fleet_experiment(spec: ExperimentSpec, batched: bool = True,
                 queue_cap=spec.queue_cap,
                 ssd=fleet_ssd,
                 tracer=tracer if tracer is not None else NULL_TRACER,
+                kill_at=spec.kill_at,
+                kill_shard=spec.kill_shard,
+                retry_limit=spec.retry_limit,
+                retry_backoff=spec.retry_backoff_ms / 1e3,
+                op_timeout=(spec.op_timeout_ms / 1e3
+                            if spec.op_timeout_ms is not None else None),
             )
         else:
             pool = ClientPool(
@@ -665,6 +724,26 @@ def _fleet_summary(spec, outcome, stores, stats_base, run_seconds):
         "per_shard": [],
     }
     open_loop = isinstance(outcome, FleetOutcome)
+    if open_loop:
+        # Chaos accounting (DESIGN.md §11): availability is the
+        # fraction of offered ops that completed; the error budget is
+        # burned against the three-nines target; retry amplification
+        # is total attempts (first tries + retries) per offered op.
+        failed = outcome.failed
+        retries = outcome.retries
+        availability = completed / offered if offered else 1.0
+        budget = 1.0 - AVAILABILITY_TARGET
+        summary.update({
+            "failed": failed,
+            "timeouts": outcome.timeouts,
+            "retries": retries,
+            "lost_keys": outcome.lost_keys,
+            "availability": availability,
+            "error_budget_burn": (1.0 - availability) / budget,
+            "retry_amplification": (
+                (offered + retries) / offered if offered else 1.0
+            ),
+        })
     for shard, st in enumerate(stores):
         if open_loop:
             data = latencies.series(shard)
@@ -679,6 +758,12 @@ def _fleet_summary(spec, outcome, stores, stats_base, run_seconds):
                 "p99": float(np.percentile(data, 99)) if data.size else 0.0,
                 "qdepth_max": outcome.qdepth_max[shard],
                 "qdepth_mean": outcome.qdepth_mean(shard),
+                "failed": outcome.failed_per_shard[shard],
+                "timeouts": outcome.timeouts_per_shard[shard],
+                "retries": outcome.retries_per_shard[shard],
+                "recovery_seconds": outcome.recovery_seconds[shard],
+                "downtime_seconds": outcome.downtime_seconds[shard],
+                "health": outcome.health[shard],
             }
         else:
             # Closed-loop: latencies are per *client*, not per shard;

@@ -88,6 +88,21 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
                 f"{fleet['goodput']:.0f}",
                 f"{fleet['slo_attainment'] * 100:.1f}",
             ]
+        # Chaos columns (availability, retry amplification, slowest
+        # shard recovery): records from before fault injection existed
+        # show `-`.
+        if fleet is None or fleet.get("availability") is None:
+            chaos = ["-", "-", "-"]
+        else:
+            recov = max(
+                (row.get("recovery_seconds", 0.0)
+                 for row in fleet["per_shard"]), default=0.0,
+            )
+            chaos = [
+                f"{fleet['availability'] * 100:.1f}",
+                f"{fleet['retry_amplification']:.3f}",
+                f"{recov * 1e3:.1f}",
+            ]
         smart = record.get("smart", {})
         gc = [
             "-" if smart.get("gc_reclaims") is None
@@ -99,7 +114,7 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
             spec["engine"], spec["ssd"], spec["drive_state"],
             f"{spec['dataset_fraction']:g}", f"{spec['op_reserved_fraction']:g}",
             str(spec.get("nclients", 1)), str(spec.get("nshards", 1)),
-            *perf, *tail, *load, *gc, status, record["cell"],
+            *perf, *tail, *load, *chaos, *gc, status, record["cell"],
         ])
         if fleet is not None and any("p95" in row for row in fleet["per_shard"]):
             shard_sections.append((record["cell"], fleet))
@@ -108,23 +123,29 @@ def render_campaign(records: Sequence[dict], title: str = "") -> str:
     text = render_table(
         ["engine", "SSD", "state", "data/cap", "OP", "clients", "shards",
          "KOps/s", "WA-A", "WA-D", "space amp", "p95 us", "p99 us",
-         "offer/s", "good/s", "SLO%", "gc recl", "gc moved", "status",
-         "cell"],
+         "offer/s", "good/s", "SLO%", "avail%", "retry amp", "recov ms",
+         "gc recl", "gc moved", "status", "cell"],
         rows, title=title,
     )
     sections = [text]
     for cell, fleet in shard_sections:
+        chaos_rows = any("health" in row for row in fleet["per_shard"])
         shard_rows = [
             [str(row["shard"]), str(row["offered"]), str(row["admitted"]),
              str(row["rejected"]), str(row["ops"]),
              f"{row['p50'] * 1e6:.0f}", f"{row['p95'] * 1e6:.0f}",
              f"{row['p99'] * 1e6:.0f}", str(row["qdepth_max"]),
              f"{row['qdepth_mean']:.2f}"]
+            + ([str(row.get("failed", 0)), str(row.get("retries", 0)),
+                f"{row.get('recovery_seconds', 0.0) * 1e3:.1f}",
+                row.get("health", "-")] if chaos_rows else [])
             for row in fleet["per_shard"]
         ]
         sections.append(render_table(
             ["shard", "offered", "admitted", "rejected", "ops", "p50 us",
-             "p95 us", "p99 us", "qd max", "qd mean"],
+             "p95 us", "p99 us", "qd max", "qd mean"]
+            + (["failed", "retries", "recov ms", "health"]
+               if chaos_rows else []),
             shard_rows,
             title=(f"per-shard breakdown [{cell}] "
                    f"({fleet['arrival']} @ {fleet['arrival_rate']:g}/s, "

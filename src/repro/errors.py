@@ -23,6 +23,20 @@ class OutOfRangeError(DeviceError):
     """An LBA outside the device's logical address space was accessed."""
 
 
+class TransientDeviceError(DeviceError):
+    """A fault-injected device error that may succeed on retry.
+
+    Raised only when a :class:`repro.faults.FaultPlan` is active; the
+    engine tier wraps durability-critical writes in a bounded
+    retry-with-backoff loop (``fs.retry``) that absorbs these.
+    """
+
+
+class ProgramFaultError(TransientDeviceError):
+    """A flash program (write) operation failed before any page was
+    committed; the host must re-drive the whole request."""
+
+
 class DeviceFullError(DeviceError):
     """The FTL could not find a garbage-collection victim with free space.
 

@@ -1,0 +1,19 @@
+"""Deterministic fault injection and recovery (DESIGN.md §11)."""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    DegradeWindow,
+    FaultPlan,
+    NO_FAULTS,
+    validate_faults,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "DegradeWindow",
+    "FaultPlan",
+    "NO_FAULTS",
+    "RetryPolicy",
+    "validate_faults",
+]

@@ -31,7 +31,7 @@ import numpy as np
 from repro.errors import ConfigError, DeviceFullError, OutOfRangeError
 from repro.flash.config import SSDConfig
 from repro.flash.gc import (
-    _CLOSED, _FREE, _OPEN, GCPolicy, GreedyPolicy, VictimIndex,
+    _BAD, _CLOSED, _FREE, _OPEN, GCPolicy, GreedyPolicy, VictimIndex,
 )
 from repro.obs.tracer import NULL_TRACER
 
@@ -215,6 +215,23 @@ class FlashTranslationLayer:
                 f"read [{start}, {start + npages}) outside logical space"
             )
         self.total_read_pages += npages
+
+    def retire_free_block(self) -> bool:
+        """Retire one free block as grown-bad (fault injection).
+
+        The block leaves the free pool permanently (state ``_BAD``:
+        neither free, open, closed, nor a GC candidate), shrinking the
+        over-provisioned spare capacity GC depends on.  Refuses — and
+        returns ``False`` — when retirement would leave fewer free
+        blocks than the GC high watermark plus a margin, since the
+        collector could then never restore its target and the device
+        would wedge rather than degrade.
+        """
+        if len(self._free) <= self._high_count + 2:
+            return False
+        block = self._free.pop()
+        self._state[block] = _BAD
+        return True
 
     def trim_range(self, start: int, npages: int) -> int:
         """Invalidate the mappings of a consecutive logical range.

@@ -32,6 +32,7 @@ from repro.errors import ConfigError
 _FREE = 0
 _OPEN = 1
 _CLOSED = 2
+_BAD = 3  # grown bad block, retired from the pool (fault injection)
 
 
 class VictimIndex:

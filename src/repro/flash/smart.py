@@ -29,6 +29,10 @@ class SmartAttributes:
     gc_reclaims: int = 0  # victim blocks reclaimed (one erase each)
     gc_pages_moved: int = 0  # valid pages relocated out of victims
     gc_flash_reads: int = 0  # flash page reads performed for relocation
+    media_errors: int = 0  # injected read faults recovered by ECC retry
+    program_failures: int = 0  # injected program faults (host re-drives)
+    latency_spikes: int = 0  # injected long-tail service delays
+    realloc_blocks: int = 0  # grown bad blocks retired from the free pool
 
     def device_write_amplification(self) -> float:
         """WA-D: flash bytes programmed per host byte written (>= 1)."""

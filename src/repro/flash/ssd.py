@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.clock import VirtualClock
 from repro.errors import OutOfRangeError
+from repro.faults.plan import NO_FAULTS
 from repro.flash.config import SSDConfig
 from repro.flash.ftl import FlashTranslationLayer, WorkUnits
 from repro.flash.gc import GCPolicy
@@ -220,6 +221,7 @@ class SSD:
         self._busy_until = 0.0
         self._channels: ChannelTimeline | None = None
         self.tracer = NULL_TRACER
+        self.faults = NO_FAULTS  # fault injection (repro.faults)
         # Tracing-only observation of the outstanding flash work split
         # into [gc seconds, total seconds, last update time]; touched
         # only while the tracer is enabled (DESIGN.md §9.2).
@@ -255,6 +257,11 @@ class SSD:
         n = len(lpns)
         if n == 0:
             return 0.0
+        faults = self.faults
+        # Faults draw before the FTL touches any state: a program
+        # failure raises with nothing committed, so the host re-drives
+        # the identical request on retry.
+        extra = faults.on_write(self) if faults.enabled else 0.0
         if self.ftl is not None:
             # The FTL validates the range itself and has a smallbatch
             # fast path, so the array round-trip is skipped here.
@@ -263,7 +270,10 @@ class SSD:
             lpns = np.asarray(lpns, dtype=np.int64)
             self._mapped[lpns] = True
             work = WorkUnits(host_pages=n)
-        return self._account_write(n, work, background)
+        latency = self._account_write(n, work, background)
+        if extra:
+            latency += extra
+        return latency
 
     def write_range(self, start: int, npages: int, background: bool = False) -> float:
         """Write a consecutive logical range."""
@@ -271,12 +281,17 @@ class SSD:
             return 0.0
         if start < 0 or start + npages > self._npages:
             self._check(start, npages)
+        faults = self.faults
+        extra = faults.on_write(self) if faults.enabled else 0.0
         if self.ftl is not None:
             work = self.ftl.write_range(start, npages)
         else:
             self._mapped[start : start + npages] = True
             work = WorkUnits(host_pages=npages)
-        return self._account_write(npages, work, background)
+        latency = self._account_write(npages, work, background)
+        if extra:
+            latency += extra
+        return latency
 
     def read_range(self, start: int, npages: int) -> float:
         """Read a consecutive logical range; returns host-visible latency."""
@@ -327,6 +342,11 @@ class SSD:
                 "pages": npages, "device_service": device_service,
                 "queueing": queueing,
             })
+        faults = self.faults
+        if faults.enabled:
+            extra = faults.on_read(self)
+            if extra:
+                latency += extra
         return latency
 
     def trim_range(self, start: int, npages: int) -> None:
@@ -607,6 +627,7 @@ class SSD:
         busy_max = channels.busy_max
         write_max = channels.write_max
         nchannels = len(busy)
+        degrade = self.faults.degrade  # None unless a window is configured
         pages = work.programmed_pages
         if pages:
             base, extra = divmod(pages, nchannels)
@@ -618,6 +639,8 @@ class SSD:
                     break
                 c = (cursor + i) % nchannels
                 seconds = npages_here * program_time * fold
+                if degrade is not None:
+                    seconds = degrade.scaled(c, now, seconds)
                 b = busy[c]
                 if now > b:
                     b = now
@@ -636,6 +659,8 @@ class SSD:
         if work.erases:
             c = channels.cursor
             seconds = work.erases * cfg.erase_time * fold
+            if degrade is not None:
+                seconds = degrade.scaled(c, now, seconds)
             b = busy[c]
             if now > b:
                 b = now
@@ -672,6 +697,7 @@ class SSD:
         base, extra = divmod(npages, nchannels)
         first = start % nchannels
         page_read_time = cfg.page_read_time
+        degrade = self.faults.degrade  # None unless a window is configured
         completion = now
         # add_read_work, inlined per channel (reads touch only the FIFO
         # occupancy, so no epoch bump — the write-backlog memo and
@@ -682,7 +708,10 @@ class SSD:
             done = busy[c]
             if now > done:
                 done = now
-            done += npages_here * page_read_time
+            seconds = npages_here * page_read_time
+            if degrade is not None:
+                seconds = degrade.scaled(c, now, seconds)
+            done += seconds
             busy[c] = done
             if done > completion:
                 completion = done

@@ -33,7 +33,7 @@ from typing import Callable
 
 from repro import rng as rng_mod
 from repro.core.metrics import ClientLatencies
-from repro.errors import NoSpaceError
+from repro.errors import NoSpaceError, TransientDeviceError
 from repro.fleet.arrival import ArrivalProcess
 from repro.fleet.sharded import ShardedStore
 from repro.obs.tracer import NULL_TRACER
@@ -43,6 +43,12 @@ from repro.workload.plan import UPDATE, draw_op
 from repro.workload.runner import (CHECK_EVERY, _after_op_sample, apply_op,
                                    validate_sampling)
 from repro.workload.spec import WorkloadSpec
+
+#: Health states that accept new work; "recovering"/"down" fail fast.
+_SERVING = ("up", "degraded")
+
+#: SLO target the error budget is burned against (three nines).
+AVAILABILITY_TARGET = 0.999
 
 
 @dataclass(slots=True)
@@ -71,6 +77,18 @@ class FleetOutcome:
     latencies: ClientLatencies | None = None  # response time, per shard
     trace: list[TraceEntry] | None = None
     events_run: int = 0
+    # Chaos accounting (DESIGN.md §11): all zero unless a kill
+    # schedule, op timeout or fault plan is active.
+    failed: int = 0  # ops lost to a down shard or a device error
+    timeouts: int = 0  # queued ops that aged past the op timeout
+    retries: int = 0  # re-attempts after fail-fast on a down shard
+    failed_per_shard: list[int] = field(default_factory=list)
+    timeouts_per_shard: list[int] = field(default_factory=list)
+    retries_per_shard: list[int] = field(default_factory=list)
+    recovery_seconds: list[float] = field(default_factory=list)
+    downtime_seconds: list[float] = field(default_factory=list)
+    lost_keys: int = 0  # newest-version keys lost in crash recovery
+    health: list[str] = field(default_factory=list)  # final per-shard state
 
     def qdepth_mean(self, shard: int) -> float:
         """Mean queue depth seen by this shard's arrivals."""
@@ -95,6 +113,12 @@ class FleetPool:
         ssd=None,
         record_trace: bool = False,
         tracer=NULL_TRACER,
+        kill_at: float | None = None,
+        kill_shard: int = 0,
+        retry_limit: int = 3,
+        retry_backoff: float = 0.0005,
+        op_timeout: float | None = None,
+        retry_rng=None,
     ):
         validate_sampling(sample_interval, on_sample)
         self.store = store
@@ -110,6 +134,17 @@ class FleetPool:
         self.record_trace = record_trace
         self.tracer = tracer
         self.nshards = len(store.shards)
+        # Chaos knobs (DESIGN.md §11).  `chaos` gates every new branch
+        # on the hot paths so a plain run is byte-identical to PR 7.
+        self.kill_at = kill_at
+        self.kill_shard = kill_shard
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self.op_timeout = op_timeout
+        self._retry_rng = retry_rng
+        self._chaos = kill_at is not None or op_timeout is not None
+        if self._chaos and retry_rng is None:
+            self._retry_rng = rng_mod.substream(seed, "fleet-retry")
 
     def run(self) -> FleetOutcome:
         """Drive source + service tasks to completion; blocking."""
@@ -133,6 +168,12 @@ class FleetPool:
             qdepth_max=[0] * n,
             qdepth_sum=[0] * n,
             latencies=ClientLatencies(n),
+            failed_per_shard=[0] * n,
+            timeouts_per_shard=[0] * n,
+            retries_per_shard=[0] * n,
+            recovery_seconds=[0.0] * n,
+            downtime_seconds=[0.0] * n,
+            health=["up"] * n,
         )
         self._outcome = outcome
         self._stop = False
@@ -143,6 +184,10 @@ class FleetPool:
             clock.now + self.sample_interval if self.sample_interval else None
         )
         start = clock.now
+        self._down_at = [0.0] * n
+        self._degraded_left = [0] * n
+        if self.kill_at is not None:
+            scheduler.schedule(self.kill_at, self._kill, label="chaos-kill")
         scheduler.spawn(self._source(), label="arrival-source")
         try:
             scheduler.run()
@@ -174,6 +219,7 @@ class FleetPool:
         key_rng = rng_mod.substream(self.seed, "workload-keys")
         op_rng = rng_mod.substream(self.seed, "workload-ops")
         chooser = make_chooser(spec.distribution, spec.nkeys, key_rng)
+        chaos = self._chaos
         while True:
             if self._stop:
                 break
@@ -189,6 +235,15 @@ class FleetPool:
             shard = router.shard_for(key)
             outcome.offered += 1
             outcome.offered_per_shard[shard] += 1
+            if chaos and outcome.health[shard] not in _SERVING:
+                # Fail fast: no queueing behind a dead shard.  The
+                # first arrival that notices the outage triggers the
+                # recovery protocol; the op itself is retried with
+                # backoff off the "fleet-retry" substream.
+                if outcome.health[shard] == "down":
+                    self._begin_recovery(shard)
+                self._retry_or_fail(kind, key, shard, clock._step_now)
+                continue
             depth = len(queues[shard]) + (1 if busy[shard] else 0)
             outcome.qdepth_sum[shard] += depth
             if depth > outcome.qdepth_max[shard]:
@@ -222,8 +277,16 @@ class FleetPool:
         sink = outcome.latencies.sink(shard)
         tracer = self.tracer
         tr_on = tracer.enabled
+        chaos = self._chaos
+        timeout = self.op_timeout
         while queue:
             kind, key, version, t_arr = queue.popleft()
+            if timeout is not None and clock._step_now - t_arr > timeout:
+                # The op aged past its deadline while queued; the
+                # client has given up, so don't burn service on it.
+                outcome.timeouts += 1
+                outcome.timeouts_per_shard[shard] += 1
+                continue
             if tr_on:
                 tracer.tid = shard
                 tracer.shard = shard
@@ -233,12 +296,22 @@ class FleetPool:
                 outcome.out_of_space = True
                 self._stop = True
                 break
+            except TransientDeviceError:
+                # Engine-tier retries exhausted: the op fails without
+                # killing the run (availability accounting picks it up).
+                outcome.failed += 1
+                outcome.failed_per_shard[shard] += 1
+                continue
             # Service tasks run inside an event step; the capture-mode
             # step time is the op's completion time (see ClientPool).
             now = clock._step_now
             sink.append(now - t_arr)  # response = queueing + service
             outcome.ops_issued += 1
             outcome.completed_per_shard[shard] += 1
+            if chaos and outcome.health[shard] == "degraded":
+                self._degraded_left[shard] -= 1
+                if self._degraded_left[shard] <= 0:
+                    outcome.health[shard] = "up"
             self._next_sample = _after_op_sample(
                 clock, self._next_sample, self.sample_interval, self.on_sample
             )
@@ -247,3 +320,114 @@ class FleetPool:
         # Anchor the final op's completion on the timeline (step-local
         # time is discarded when a task returns).
         yield 0.0
+
+    # ------------------------------------------------------------------
+    # Chaos: shard kill, recovery protocol, retry with backoff + jitter
+    # ------------------------------------------------------------------
+    def _kill(self) -> None:
+        """Crash the victim shard: drop its queue, mark it down.
+
+        Fired from the event heap at ``kill_at`` virtual seconds after
+        the run starts.  Queued ops are failed immediately (the shard's
+        memory is gone); the op in service, if any, had already reached
+        the device and completes.  Recovery is *lazy*: the outage is
+        only noticed — and repair started — when traffic next routes to
+        the shard, like a health check driven by real requests.
+        """
+        shard = self.kill_shard
+        outcome = self._outcome
+        if self._stop or outcome.health[shard] != "up":
+            return
+        outcome.health[shard] = "down"
+        self._down_at[shard] = self.store.clock.now
+        queue = self._queues[shard]
+        dropped = len(queue)
+        outcome.failed += dropped
+        outcome.failed_per_shard[shard] += dropped
+        queue.clear()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "shard_down", "fault",
+                {"shard": shard, "dropped": dropped},
+            )
+
+    def _begin_recovery(self, shard: int) -> None:
+        """Start crash recovery; the shard serves again once it ends."""
+        outcome = self._outcome
+        outcome.health[shard] = "recovering"
+        seconds, lost = self.store.shards[shard].crash_and_recover()
+        outcome.recovery_seconds[shard] += seconds
+        outcome.lost_keys += len(lost)
+        self._scheduler.schedule(
+            seconds, lambda: self._finish_recovery(shard),
+            label=f"recover{shard}",
+        )
+
+    def _finish_recovery(self, shard: int) -> None:
+        """Recovery done: degraded until a queue's worth of completions."""
+        outcome = self._outcome
+        outcome.health[shard] = "degraded"
+        self._degraded_left[shard] = self.queue_cap
+        outcome.downtime_seconds[shard] += (
+            self.store.clock.now - self._down_at[shard]
+        )
+        if self.tracer.enabled:
+            self.tracer.instant("shard_up", "fault", {"shard": shard})
+
+    def _retry_or_fail(self, kind, key: int, shard: int, t_arr: float) -> None:
+        """Queue a failed-fast op for retry, or fail it outright."""
+        if self.retry_limit > 0:
+            self._scheduler.spawn(
+                self._retry(kind, key, shard, t_arr), label=f"retry{shard}"
+            )
+        else:
+            self._outcome.failed += 1
+            self._outcome.failed_per_shard[shard] += 1
+
+    def _retry(self, kind, key: int, shard: int, t_arr: float):
+        """Re-attempt admission with exponential backoff + jitter.
+
+        Each attempt sleeps ``retry_backoff * 2**attempt`` scaled by a
+        uniform [1, 2) jitter factor from the ``"fleet-retry"``
+        substream (decorrelates retry storms deterministically), then
+        re-checks the shard.  Response time for a retried op spans from
+        its *first* arrival, so backoff shows up in the tail — exactly
+        the SLO-relevant quantity.
+        """
+        outcome = self._outcome
+        rng = self._retry_rng
+        queues = self._queues
+        busy = self._busy
+        for attempt in range(self.retry_limit):
+            outcome.retries += 1
+            outcome.retries_per_shard[shard] += 1
+            backoff = self.retry_backoff * (2.0 ** attempt)
+            if rng is not None:
+                backoff *= 1.0 + rng.random()
+            yield backoff
+            if self._stop:
+                return
+            health = outcome.health[shard]
+            if health == "down":
+                self._begin_recovery(shard)
+                continue
+            if health not in _SERVING:
+                continue
+            depth = len(queues[shard]) + (1 if busy[shard] else 0)
+            if depth >= self.queue_cap:
+                continue
+            version = 0
+            if kind == UPDATE:
+                version = self._version
+                self._version += 1
+            queues[shard].append((kind, key, version, t_arr))
+            outcome.admitted += 1
+            outcome.admitted_per_shard[shard] += 1
+            if not busy[shard]:
+                busy[shard] = True
+                self._scheduler.spawn(
+                    self._service(shard), label=f"shard{shard}"
+                )
+            return
+        outcome.failed += 1
+        outcome.failed_per_shard[shard] += 1

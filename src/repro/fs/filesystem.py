@@ -72,6 +72,10 @@ class ExtentFilesystem:
         self.discard = discard
         self.record_data = record_data
         self._files: dict[str, FileMeta] = {}
+        # Retry-with-backoff over transient device errors (fault
+        # injection; repro.faults.RetryPolicy).  None — the default —
+        # keeps every write on the direct submission path.
+        self.retry = None
 
     # ------------------------------------------------------------------
     # Namespace
@@ -205,8 +209,16 @@ class ExtentFilesystem:
         identical either way: one host request for the same pages.
         """
         run = self._single_run(meta, first_page, count)
+        retry = self.retry
         if run is not None:
+            if retry is not None:
+                return retry.run(lambda: self.device.write_range(
+                    run[0], run[1], background=background))
             return self.device.write_range(run[0], run[1], background=background)
+        if retry is not None:
+            lpns = self._file_lpns(meta, first_page, count)
+            return retry.run(
+                lambda: self.device.write_pages(lpns, background=background))
         return self.device.write_pages(
             self._file_lpns(meta, first_page, count), background=background
         )

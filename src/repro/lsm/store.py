@@ -33,7 +33,7 @@ from bisect import bisect_left
 import numpy as np
 
 from repro.core.clock import VirtualClock
-from repro.errors import NoSpaceError, StoreClosedError
+from repro.errors import ConfigError, NoSpaceError, StoreClosedError
 from repro.flash.ssd import mean_write_backlog
 from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore, as_int_list
@@ -81,6 +81,9 @@ class LSMStore(KVStore):
         self._put_consts = None
         self._del_consts = None
         self.tracer = NULL_TRACER  # flight recorder (repro.obs)
+        # Crash tracking (repro.faults): log_id -> ordered WAL records,
+        # maintained only when enable_crash_tracking() was called.
+        self._crash = None
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -100,6 +103,11 @@ class LSMStore(KVStore):
             if tr_on and wal_latency > 0.0:
                 tracer.span("wal_append", "lsm", t0, wal_latency,
                             {"bytes": self.config.key_bytes + value.length})
+            if self._crash is not None:
+                self._crash.setdefault(self.wal.log_id, []).append(
+                    (key, value.seed, value.length, KIND_PUT,
+                     self.config.key_bytes + value.length
+                     + self.config.wal_entry_overhead))
         seq = self._next_seq
         self._next_seq = seq + 1
         self.memtable.put(key, seq, value.seed, value.length)
@@ -126,6 +134,10 @@ class LSMStore(KVStore):
             if tr_on and wal_latency > 0.0:
                 tracer.span("wal_append", "lsm", t0, wal_latency,
                             {"bytes": self.config.key_bytes})
+            if self._crash is not None:
+                self._crash.setdefault(self.wal.log_id, []).append(
+                    (key, 0, 0, KIND_DELETE,
+                     self.config.key_bytes + self.config.wal_entry_overhead))
         seq = self._next_seq
         self._next_seq = seq + 1
         self.memtable.delete(key, seq)
@@ -608,6 +620,11 @@ class LSMStore(KVStore):
                 memtable.approximate_bytes += entry_bytes
                 if wal is not None:
                     wal._buffered += wal_record
+                    if self._crash is not None:
+                        self._crash.setdefault(wal.log_id, []).append(
+                            (key, 0 if delete else seeds_list[0],
+                             0 if delete else vlen,
+                             KIND_DELETE if delete else KIND_PUT, wal_record))
                 stats.user_bytes_written += payload
                 now += latency
                 if capturing:
@@ -786,6 +803,17 @@ class LSMStore(KVStore):
                     stats.puts += took
                 if wal is not None:
                     wal._buffered += took * wal_record  # bulk_append, inlined
+                    if self._crash is not None:
+                        crash_log = self._crash.setdefault(wal.log_id, [])
+                        if delete:
+                            for k in keys_list[done:done + took]:
+                                crash_log.append((k, 0, 0, KIND_DELETE,
+                                                  wal_record))
+                        else:
+                            for k, s in zip(keys_list[done:done + took],
+                                            seeds_list[done:done + took]):
+                                crash_log.append((k, s, vlen, KIND_PUT,
+                                                  wal_record))
                 stats.user_bytes_written += took * payload
                 # clock.advance_to(now), inlined: `now` only grew from
                 # the value read above, so the past-time guard is the
@@ -860,6 +888,98 @@ class LSMStore(KVStore):
         self._bg_worker = Resource(scheduler, capacity=1, name="lsm-bg")
 
     # ------------------------------------------------------------------
+    # Crash recovery (fault injection; DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def enable_crash_tracking(self) -> None:
+        """Record WAL records so :meth:`crash_and_recover` can replay.
+
+        Tracking costs one dict append per write, so it is opt-in: the
+        fleet enables it only for shards scheduled to be killed.
+        """
+        self._crash = {}
+
+    def crash_and_recover(self) -> tuple[float, set[int]]:
+        """Kill the store at the current instant and rebuild from disk.
+
+        Volatile state — the active and immutable memtables plus every
+        WAL's unwritten buffer tail — is discarded.  Recovery reads
+        each live WAL file, replays its durable records (oldest log
+        first, newest record winning per key) into a fresh memtable
+        that is flushed to L0, then installs an empty memtable and a
+        fresh WAL.  Returns ``(recovery_seconds, lost_keys)``:
+        *lost_keys* are the keys whose newest write sat in a lost
+        buffer tail, so their reads may now return an older durable
+        version — exactly RocksDB's contract with unsynced WAL writes
+        after a power cut.  The caller schedules the recovery time;
+        the store does not advance the clock itself.
+        """
+        if self._crash is None:
+            raise ConfigError(
+                "crash_and_recover requires enable_crash_tracking() "
+                "before the writes to be recovered")
+        fs = self.fs
+        live = list(self._immutables)
+        live.append((self.memtable, self.wal))
+        replay: list = []
+        lost_status: dict[int, bool] = {}
+        latency = 0.0
+        for memtable, wal in live:
+            if wal is None:
+                # No WAL: the whole memtable was volatile.
+                for key in memtable._entries:
+                    lost_status[key] = True
+                continue
+            records = self._crash.get(wal.log_id, [])
+            # The buffer tail never reached the device: walk back from
+            # the end until the unwritten bytes are accounted for.
+            buffered = wal._buffered
+            cut = len(records)
+            while buffered > 0 and cut > 0:
+                cut -= 1
+                buffered -= records[cut][4]
+            for i, rec in enumerate(records):
+                lost_status[rec[0]] = i >= cut
+            replay.extend(records[:cut])
+            size = fs.file_size(wal.filename)
+            if size:
+                read_latency, _ = fs.pread(wal.filename, 0, size)
+                latency += read_latency
+        # Drop the volatile state and the replayed logs.
+        for _memtable, wal in live:
+            if wal is not None:
+                wal._buffered = 0
+                wal.discard()
+                self._crash.pop(wal.log_id, None)
+        self._immutables = []
+        rebuilt = MemTable(self.config)
+        seq = self._next_seq
+        for key, vseed, vlen, kind, _nbytes in replay:
+            if kind == KIND_PUT:
+                rebuilt.put(key, seq, vseed, vlen)
+            else:
+                rebuilt.delete(key, seq)
+            seq += 1
+        self._next_seq = seq
+        latency += self.config.cpu_overhead * len(replay)
+        if len(rebuilt):
+            # Make the replayed state durable immediately (flush to
+            # L0), so a second crash cannot lose it again.
+            self._flush_one(rebuilt, None)
+            self._run_compactions()
+        self.memtable = MemTable(self.config)
+        self.wal = WriteAheadLog(fs, self.config, next(self._wal_ids)) \
+            if self.config.wal_enabled else None
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("crash_recover", "fault", {
+                "replayed": len(replay),
+                "lost_keys": sum(lost_status.values()),
+                "seconds": latency,
+            })
+        lost = {key for key, is_lost in lost_status.items() if is_lost}
+        return latency, lost
+
+    # ------------------------------------------------------------------
     # Write-path internals
     # ------------------------------------------------------------------
     def _after_write(self) -> float:
@@ -928,6 +1048,8 @@ class LSMStore(KVStore):
                 })
         if wal is not None:
             wal.discard()
+            if self._crash is not None:
+                self._crash.pop(wal.log_id, None)
 
     def _run_compactions(self) -> None:
         while (compaction := self.picker.pick(self.version)) is not None:

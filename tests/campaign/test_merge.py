@@ -43,6 +43,36 @@ def test_merge_refuses_nonempty_output(tmp_path):
         merge_stores(tmp_path / "out.jsonl", [tmp_path / "a.jsonl"])
 
 
+def test_merge_force_appends_only_new_cells(tmp_path):
+    write_store(tmp_path / "out.jsonl",
+                [{"cell": "aaa", "x": 1}, {"cell": "bbb", "x": 2}])
+    write_store(tmp_path / "a.jsonl",
+                [{"cell": "bbb", "x": 9}, {"cell": "ccc", "x": 3}])
+    merged, dropped = merge_stores(
+        tmp_path / "out.jsonl", [tmp_path / "a.jsonl"], force=True)
+    # Only the genuinely new cell lands; the existing record for bbb
+    # is kept (first wins), not duplicated or overwritten.
+    assert (merged, dropped) == (1, 1)
+    assert cells_in(tmp_path / "out.jsonl") == ["aaa", "bbb", "ccc"]
+    records = dict(CampaignStore(tmp_path / "out.jsonl").records())
+    assert records["bbb"]["x"] == 2
+
+
+def test_merge_force_into_empty_behaves_like_plain(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
+    merged, dropped = merge_stores(
+        tmp_path / "out.jsonl", [tmp_path / "a.jsonl"], force=True)
+    assert (merged, dropped) == (1, 0)
+    assert cells_in(tmp_path / "out.jsonl") == ["aaa"]
+
+
+def test_merge_refusal_mentions_force(tmp_path):
+    write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
+    write_store(tmp_path / "out.jsonl", [{"cell": "old"}])
+    with pytest.raises(ConfigError, match="--force"):
+        merge_stores(tmp_path / "out.jsonl", [tmp_path / "a.jsonl"])
+
+
 def test_merge_missing_input(tmp_path):
     write_store(tmp_path / "a.jsonl", [{"cell": "aaa"}])
     with pytest.raises(ConfigError, match="does not exist"):
