@@ -131,6 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="small scale only (the CI perf-smoke job)")
     bench.add_argument("--repeat", type=int, default=2,
                        help="batched-driver runs per case (best wall time wins)")
+    bench.add_argument("--suite", choices=["std", "perf"], default="std",
+                       help="perf = dedicated perf runner: one warmup pass "
+                            "per cell and >= 3 timed iterations (use when "
+                            "refreshing a strict-wall baseline)")
+    bench.add_argument("--cases", metavar="GLOB", default=None,
+                       help="run only cells whose name matches this glob, "
+                            "e.g. 'fig2-update-pool4-*' (DESIGN.md §8.3); "
+                            "filtered reports skip the trace-overhead probe "
+                            "and should not be committed as baselines")
     bench.add_argument("--out", default="BENCH_throughput.json",
                        help="where to write the report (default %(default)s)")
     bench.add_argument("--check", metavar="BASELINE", default=None,
@@ -159,6 +168,18 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--clients", type=int, default=1,
                          help="1 = inline runner; >1 = pooled cell")
     profile.add_argument("--scale", choices=sorted(SCALES), default="small")
+    profile.add_argument("--shards", type=int, default=1,
+                         help=">1 profiles the fleet path (router + "
+                              "per-shard stacks, DESIGN.md §10)")
+    profile.add_argument("--arrival", choices=["poisson", "diurnal", "bursty"],
+                         default=None,
+                         help="profile the open-loop fleet driver with this "
+                              "arrival process (implies the fleet path)")
+    profile.add_argument("--arrival-rate", type=float, default=0.0,
+                         help="open-loop offered load, ops/s (with --arrival)")
+    profile.add_argument("--queue-cap", type=int, default=0,
+                         help="per-shard admission bound (with --arrival; "
+                              "0 = spec default)")
     profile.add_argument("--scalar", action="store_true",
                          help="profile the scalar (one-op-at-a-time) driver "
                               "instead of the batched one")
@@ -521,7 +542,11 @@ def _cmd_bench(args) -> int:
         check_regression, load_report, render_bench, run_bench, save_report,
     )
 
-    report = run_bench(smoke=args.smoke, repeat=args.repeat)
+    report = run_bench(smoke=args.smoke, repeat=args.repeat,
+                       suite=args.suite, cases_glob=args.cases)
+    if not any(suite["cases"] for suite in report["suites"].values()):
+        print(f"no bench cells match --cases {args.cases!r}")
+        return 2
     print(render_bench(report))
     save_report(report, args.out)
     print(f"\nreport written to {args.out}")
@@ -549,7 +574,8 @@ def _cmd_profile(args) -> int:
     table = profile_case(
         Engine(args.engine), args.scale, workload_name=args.workload,
         nclients=args.clients, batch=not args.scalar, top=args.top,
-        sort=args.sort,
+        sort=args.sort, nshards=args.shards, arrival=args.arrival,
+        arrival_rate=args.arrival_rate, queue_cap=args.queue_cap,
     )
     print(table)
     if args.out:

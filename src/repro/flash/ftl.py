@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import ConfigError, DeviceFullError, OutOfRangeError
 from repro.flash.config import SSDConfig
 from repro.flash.gc import (
@@ -59,11 +60,18 @@ class WorkUnits:
 class FlashTranslationLayer:
     """A page-mapped FTL over the geometry described by an :class:`SSDConfig`."""
 
-    def __init__(self, config: SSDConfig, policy: GCPolicy | None = None):
+    def __init__(self, config: SSDConfig, policy: GCPolicy | None = None,
+                 kernel: str | None = None):
         if config.byte_addressable:
             raise ConfigError("byte-addressable devices do not use an FTL")
         self.config = config
         self.policy = policy or GreedyPolicy()
+        # Kernel selection (DESIGN.md §12): the array kernel batches
+        # the valid-count decrement and the victim-index dedupe of
+        # large invalidations into one bincount pass; the scalar
+        # predecessor (np.subtract.at) is retained as the oracle.
+        self.kernel = kernels.resolve(kernel)
+        self._array_kernels = self.kernel == kernels.ARRAY
 
         n_logical = config.logical_pages
         n_physical = config.total_pages
@@ -101,6 +109,9 @@ class FlashTranslationLayer:
         ppb = config.pages_per_block
         self._ppb = ppb
         self._logical_pages = n_logical  # hot-path cache of the config property
+        # Reusable 0..ppb iota: the programming paths slice it instead
+        # of allocating an arange per open-block chunk.
+        self._iota = np.arange(ppb, dtype=np.int64)
         # Watermarks are clamped by the physical spare capacity: with S
         # spare blocks the collector can sustainably keep at most S-2
         # blocks free (two blocks are always open for writing), so a
@@ -328,6 +339,20 @@ class FlashTranslationLayer:
             valid[last] = int(valid[last]) - count
             if pend is not None:
                 pend.append(last)
+        elif self._array_kernels:
+            # One bincount pass yields both the per-block decrement
+            # counts and (via its nonzero support) the deduped set of
+            # touched blocks, so the valid-count update and the
+            # victim-index notes come out of the same array sweep.
+            # subtract.at decrements once per occurrence, which is
+            # exactly valid[touched] -= counts[touched].
+            cnt = np.bincount(blocks, minlength=len(self._state))
+            touched = np.nonzero(cnt)[0]
+            valid[touched] -= cnt[touched]
+            if index is not None:
+                pend.extend(
+                    touched[self._state[touched] == _CLOSED].tolist()
+                )
         else:
             np.subtract.at(valid, blocks, 1)
             if index is not None:
@@ -409,8 +434,9 @@ class FlashTranslationLayer:
             lpn0 = start + i
             ppn0 = block * ppb + off
             if take >= 4:
-                p2l[ppn0 : ppn0 + take] = np.arange(lpn0, lpn0 + take, dtype=np.int64)
-                l2p[lpn0 : lpn0 + take] = np.arange(ppn0, ppn0 + take, dtype=np.int64)
+                iota = self._iota[:take]
+                p2l[ppn0 : ppn0 + take] = lpn0 + iota
+                l2p[lpn0 : lpn0 + take] = ppn0 + iota
             else:
                 for k in range(take):
                     p2l[ppn0 + k] = lpn0 + k
@@ -427,7 +453,7 @@ class FlashTranslationLayer:
             block, off = self._open_block(head, work)
             take = min(self._ppb - off, n - i)
             chunk = lpns[i : i + take]
-            ppns = block * self._ppb + np.arange(off, off + take, dtype=np.int64)
+            ppns = block * self._ppb + self._iota[off : off + take]
             self._p2l[ppns] = chunk
             self._l2p[chunk] = ppns
             self._valid_count[block] += take

@@ -19,56 +19,154 @@ For functional tests the filesystem can optionally retain file
 contents in memory (``record_data=True``); engines run with accounting
 only, since key-value payloads are represented by (seed, length)
 descriptors rather than real bytes.
+
+File extent tables are array-backed (parallel int64 start/length
+columns with a cached cumulative page count); the ``kernel`` knob
+(DESIGN.md §12) selects between the whole-batch extent push /
+vectorized page-run resolution / batched free on deletion (array, the
+default) and the per-extent scalar call pattern retained as the
+equivalence oracle.  Both submit the identical device requests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from bisect import bisect_right
-
+from repro import kernels
 from repro.errors import FileExistsError_, FileNotFoundError_, FilesystemError
 from repro.fs.allocator import Extent, ExtentAllocator
 
 
-@dataclass
 class FileMeta:
-    """Metadata of one file: its extents (in file order) and byte size."""
+    """Metadata of one file: its extents (in file order) and byte size.
 
-    name: str
-    extents: list[Extent] = field(default_factory=list)
-    size_bytes: int = 0
-    data: bytearray | None = None
-    # Cached cumulative page counts per extent (lazy; None = stale).
-    cum: list[int] | None = None
+    Extents live in a pair of parallel growable int64 arrays; the
+    cumulative page count per extent is cached as an int64 column and
+    invalidated by every extent mutation.
+    """
+
+    __slots__ = ("name", "size_bytes", "data", "_es", "_el", "_ne",
+                 "_pages", "_cum")
+
+    def __init__(self, name: str, data: bytearray | None = None):
+        self.name = name
+        self.size_bytes = 0
+        self.data = data
+        self._es = np.empty(4, dtype=np.int64)  # extent device starts
+        self._el = np.empty(4, dtype=np.int64)  # parallel lengths
+        self._ne = 0
+        self._pages = 0
+        self._cum: np.ndarray | None = None
 
     @property
     def npages(self) -> int:
         """Pages allocated to the file."""
-        return sum(length for _, length in self.extents)
+        return self._pages
 
-    def cumulative(self) -> list[int]:
+    @property
+    def nextents(self) -> int:
+        """Number of (coalesced) extents backing the file."""
+        return self._ne
+
+    @property
+    def extents(self) -> list[Extent]:
+        """The extent table as (start, npages) tuples (a copy)."""
+        ne = self._ne
+        return list(zip(self._es[:ne].tolist(), self._el[:ne].tolist()))
+
+    def cumulative(self) -> np.ndarray:
         """``cumulative()[i]`` = pages in extents[0..i]; cached."""
-        if self.cum is None:
-            total = 0
-            cum = []
-            for _start, length in self.extents:
-                total += length
-                cum.append(total)
-            self.cum = cum
-        return self.cum
+        if self._cum is None:
+            self._cum = np.cumsum(self._el[:self._ne])
+        return self._cum
+
+    # ------------------------------------------------------------------
+    # Extent mutation
+    # ------------------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = self._es.size
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        es = np.empty(cap, dtype=np.int64)
+        el = np.empty(cap, dtype=np.int64)
+        ne = self._ne
+        es[:ne] = self._es[:ne]
+        el[:ne] = self._el[:ne]
+        self._es, self._el = es, el
+
+    def push_extent(self, extent: Extent) -> None:
+        """Append one extent, merging with the previous if adjacent
+        (the scalar oracle's per-extent call pattern)."""
+        self._cum = None
+        self._pages += extent[1]
+        ne = self._ne
+        if ne:
+            last_start = int(self._es[ne - 1])
+            last_len = int(self._el[ne - 1])
+            if last_start + last_len == extent[0]:
+                self._el[ne - 1] = last_len + extent[1]
+                return
+        self._grow(ne + 1)
+        self._es[ne] = extent[0]
+        self._el[ne] = extent[1]
+        self._ne = ne + 1
+
+    def push_extents(self, extents: list[Extent]) -> None:
+        """Append a batch of extents in one coalescing array pass.
+
+        Equivalent to pushing them one by one: runs of file-order
+        adjacency (including adjacency with the current tail extent)
+        collapse into single extents, exactly as the iterative
+        tail-merge would produce.
+        """
+        k = len(extents)
+        if k <= 1:
+            for extent in extents:
+                self.push_extent(extent)
+            return
+        self._cum = None
+        es = np.fromiter((e[0] for e in extents), dtype=np.int64, count=k)
+        el = np.fromiter((e[1] for e in extents), dtype=np.int64, count=k)
+        self._pages += int(el.sum())
+        ne = self._ne
+        if ne:
+            # Fold the current tail extent into the coalesce pass.
+            cs = np.concatenate([self._es[ne - 1 : ne], es])
+            cl = np.concatenate([self._el[ne - 1 : ne], el])
+            base = ne - 1
+        else:
+            cs, cl = es, el
+            base = 0
+        ends = cs + cl
+        first = np.empty(len(cs), dtype=bool)
+        first[0] = True
+        np.not_equal(cs[1:], ends[:-1], out=first[1:])
+        idx_first = np.flatnonzero(first)
+        new_s = cs[idx_first]
+        last_ends = np.empty(len(idx_first), dtype=np.int64)
+        last_ends[:-1] = ends[idx_first[1:] - 1]
+        last_ends[-1] = ends[-1]
+        need = base + len(new_s)
+        self._grow(need)
+        self._es[base:need] = new_s
+        self._el[base:need] = last_ends - new_s
+        self._ne = need
 
 
 class ExtentFilesystem:
     """A minimal extent filesystem exposing the operations engines need."""
 
     def __init__(self, device, strategy: str = "scatter", discard: bool = False,
-                 record_data: bool = False, seed: int = 0):
+                 record_data: bool = False, seed: int = 0,
+                 kernel: str | None = None):
         self.device = device
         self.page_size = device.page_size
-        self.allocator = ExtentAllocator(device.npages, strategy=strategy, seed=seed)
+        self.kernel = kernels.resolve(kernel)
+        self._array = self.kernel == kernels.ARRAY
+        self.allocator = ExtentAllocator(device.npages, strategy=strategy,
+                                         seed=seed, kernel=self.kernel)
         self.discard = discard
         self.record_data = record_data
         self._files: dict[str, FileMeta] = {}
@@ -93,11 +191,18 @@ class ExtentFilesystem:
         return name in self._files
 
     def delete(self, name: str) -> None:
-        """Delete a file, freeing its extents (TRIM only if ``discard``)."""
+        """Delete a file, freeing its extents (TRIM only if ``discard``).
+
+        The array kernel returns all extents to the allocator in one
+        batched :meth:`~repro.fs.allocator.ArrayExtentAllocator.
+        free_many` merge; the scalar oracle frees them one by one.
+        Either way the device sees the same TRIMs in the same order.
+        """
         meta = self._lookup(name)
-        for start, length in meta.extents:
-            self.allocator.free(start, length)
-            if self.discard:
+        extents = meta.extents
+        self.allocator.free_many(extents)
+        if self.discard:
+            for start, length in extents:
                 self.device.trim_range(start, length)
         del self._files[name]
 
@@ -132,16 +237,16 @@ class ExtentFilesystem:
 
         old_size = meta.size_bytes
         new_size = old_size + nbytes
-        old_pages = _ceil_div(old_size, self.page_size)
-        new_pages = _ceil_div(new_size, self.page_size)
+        page_size = self.page_size
+        old_pages = _ceil_div(old_size, page_size)
+        new_pages = _ceil_div(new_size, page_size)
         if new_pages > old_pages:
-            for extent in self.allocator.alloc(new_pages - old_pages):
-                self._push_extent(meta, extent)
+            self._push_new_extents(meta, new_pages - old_pages)
         meta.size_bytes = new_size
 
         # Pages touched: the (possibly partial) page containing old EOF
         # through the last page of the new EOF.
-        first_page = old_size // self.page_size
+        first_page = old_size // page_size
         return self._write_file_pages(meta, first_page, new_pages - first_page,
                                       background)
 
@@ -162,8 +267,7 @@ class ExtentFilesystem:
         new_size = meta.size_bytes + nbytes
         new_pages = _ceil_div(new_size, self.page_size)
         if new_pages > old_pages:
-            for extent in self.allocator.alloc(new_pages - old_pages):
-                self._push_extent(meta, extent)
+            self._push_new_extents(meta, new_pages - old_pages)
         meta.size_bytes = new_size
 
     def pwrite(self, name: str, offset: int, data_or_size: bytes | int,
@@ -197,6 +301,17 @@ class ExtentFilesystem:
         latency += self._write_file_pages(meta, first_page,
                                           last_page - first_page, background)
         return latency
+
+    def _push_new_extents(self, meta: FileMeta, npages: int) -> None:
+        """Allocate *npages* and append the granted extents to *meta* —
+        one coalescing batch under the array kernel, per-extent under
+        the scalar oracle."""
+        extents = self.allocator.alloc(npages)
+        if self._array:
+            meta.push_extents(extents)
+        else:
+            for extent in extents:
+                meta.push_extent(extent)
 
     def _write_file_pages(self, meta: FileMeta, first_page: int, count: int,
                           background: bool) -> float:
@@ -234,9 +349,9 @@ class ExtentFilesystem:
         The cache is sound only while the file is neither extended nor
         deleted, which a ring guarantees by construction.
         """
-        extents = self._lookup(name).extents
-        if len(extents) == 1:
-            return extents[0]
+        meta = self._lookup(name)
+        if meta.nextents == 1:
+            return (int(meta._es[0]), int(meta._el[0]))
         return None
 
     def page_run(self, name: str, first_page: int,
@@ -326,6 +441,7 @@ class ExtentFilesystem:
                 overlap = claimed.intersection(pages)
                 assert not overlap, f"files share pages {sorted(overlap)[:4]}"
                 claimed.update(pages)
+            assert meta.npages == sum(l for _, l in meta.extents)
             assert meta.npages >= _ceil_div(meta.size_bytes, self.page_size)
         free = {
             page
@@ -343,16 +459,6 @@ class ExtentFilesystem:
             raise FileNotFoundError_(f"no such file: {name!r}")
         return self._files[name]
 
-    def _push_extent(self, meta: FileMeta, extent: Extent) -> None:
-        """Append an extent, merging with the previous one if adjacent."""
-        meta.cum = None
-        if meta.extents:
-            last_start, last_len = meta.extents[-1]
-            if last_start + last_len == extent[0]:
-                meta.extents[-1] = (last_start, last_len + extent[1])
-                return
-        meta.extents.append(extent)
-
     #: Page counts up to this are submitted as Python-int lists when
     #: they fall inside one extent run — the dominant shape of journal
     #: records and page reconciliations, where numpy round-trips cost
@@ -363,45 +469,66 @@ class ExtentFilesystem:
                     count: int) -> tuple[int, int] | None:
         """(device_start, count) when the page range sits in one extent,
         else None (callers fall back to the multi-run path)."""
-        extents = meta.extents
-        if len(extents) == 1:
+        ne = meta._ne
+        if ne == 1:
             # One-extent files (the pre-allocated journal ring, small
             # logs) resolve with pure arithmetic.
-            start, length = extents[0]
-            if first_page + count > length:
+            if first_page + count > meta._pages:
                 raise FilesystemError(
                     f"file {meta.name!r} has no pages for requested range"
                 )
-            return (start + first_page, count)
-        cumulative = meta.cumulative()
-        if not cumulative or first_page + count > cumulative[-1]:
+            return (int(meta._es[0]) + first_page, count)
+        cum = meta.cumulative()
+        if ne == 0 or first_page + count > int(cum[-1]):
             raise FilesystemError(
                 f"file {meta.name!r} has no pages for requested range"
             )
-        idx = bisect_right(cumulative, first_page)
-        preceding = cumulative[idx - 1] if idx > 0 else 0
-        start, length = extents[idx]
+        idx = int(cum.searchsorted(first_page, side="right"))
+        preceding = int(cum[idx - 1]) if idx > 0 else 0
         skip = first_page - preceding
-        if skip + count <= length:
-            return (start + skip, count)
+        if skip + count <= int(meta._el[idx]):
+            return (int(meta._es[idx]) + skip, count)
         return None
+
+    def _run_bounds(self, meta: FileMeta, first_page: int, count: int):
+        """(first_extent, last_extent, skip) covering the page range."""
+        cum = meta.cumulative()
+        if meta._ne == 0 or first_page + count > int(cum[-1]):
+            raise FilesystemError(
+                f"file {meta.name!r} has no pages for requested range"
+            )
+        i0 = int(cum.searchsorted(first_page, side="right"))
+        i1 = int(cum.searchsorted(first_page + count - 1, side="right"))
+        preceding = int(cum[i0 - 1]) if i0 > 0 else 0
+        return i0, i1, first_page - preceding
+
+    def _run_arrays(self, meta: FileMeta, first_page: int,
+                    count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Device runs covering a page range, as (starts, lens) arrays
+        (the array kernel's whole-range resolution)."""
+        i0, i1, skip = self._run_bounds(meta, first_page, count)
+        starts = meta._es[i0 : i1 + 1].copy()
+        lens = meta._el[i0 : i1 + 1].copy()
+        starts[0] += skip
+        lens[0] -= skip
+        lens[-1] = count - int(lens[:-1].sum())
+        return starts, lens
 
     def _file_runs(self, meta: FileMeta, first_page: int, count: int):
         """Yield (device_start, length) runs covering file pages
         [first_page, first_page+count)."""
         if count <= 0:
             return
-        cumulative = meta.cumulative()
-        if not cumulative or first_page + count > cumulative[-1]:
-            raise FilesystemError(
-                f"file {meta.name!r} has no pages for requested range"
-            )
-        idx = bisect_right(cumulative, first_page)
-        preceding = cumulative[idx - 1] if idx > 0 else 0
-        skip = first_page - preceding
+        if self._array:
+            starts, lens = self._run_arrays(meta, first_page, count)
+            yield from zip(starts.tolist(), lens.tolist())
+            return
+        i0, _i1, skip = self._run_bounds(meta, first_page, count)
+        idx = i0
         remaining = count
         while remaining > 0:
-            start, length = meta.extents[idx]
+            start = int(meta._es[idx])
+            length = int(meta._el[idx])
             take = min(length - skip, remaining)
             yield (start + skip, take)
             remaining -= take
@@ -416,6 +543,19 @@ class ExtentFilesystem:
             if run is not None:
                 start, length = run
                 return list(range(start, start + length))
+        if self._array:
+            starts, lens = self._run_arrays(meta, first_page, count)
+            if len(starts) == 1:
+                s0 = int(starts[0])
+                return np.arange(s0, s0 + count, dtype=np.int64)
+            # Concatenation of per-run aranges without materializing
+            # them: repeat each run's (start - pages_before_run) and
+            # add the global page index.
+            before = np.empty(len(lens), dtype=np.int64)
+            before[0] = 0
+            np.cumsum(lens[:-1], out=before[1:])
+            return np.repeat(starts - before, lens) + np.arange(
+                count, dtype=np.int64)
         runs = list(self._file_runs(meta, first_page, count))
         if len(runs) == 1:
             start, length = runs[0]

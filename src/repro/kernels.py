@@ -1,0 +1,72 @@
+"""Kernel selection: whole-array numpy kernels vs their scalar oracles.
+
+The device-write tail (extent carving, file-page resolution, FTL page
+invalidation) and the LSM compaction merge each exist in two
+implementations (DESIGN.md §12):
+
+* **array** (default): whole-batch numpy kernels — the production path;
+* **scalar**: the original per-item implementations, retained verbatim
+  as oracles.
+
+Both produce bit-identical simulated state (same extent stream, same
+RNG draws, same FTL mappings, same merge permutation); the scalar side
+exists so equivalence can be pinned at op, latency-series, SMART and
+full-figure level, and so a suspected kernel bug can be bisected by
+flipping one switch.
+
+Selection is a process-global default (``REPRO_KERNELS`` environment
+variable, or :func:`set_mode`) read by each component at construction;
+every component also accepts an explicit ``kernel=`` argument so tests
+can pit the two implementations against each other in one process.
+The switch is deliberately *not* an :class:`ExperimentSpec` field:
+kernels must never change simulated results, so they must not change a
+spec's ``stable_hash`` either.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+ARRAY = "array"
+SCALAR = "scalar"
+MODES = (ARRAY, SCALAR)
+
+_mode = os.environ.get("REPRO_KERNELS", ARRAY)
+if _mode not in MODES:  # fail fast on typos, like every other config knob
+    raise ValueError(
+        f"REPRO_KERNELS must be one of {MODES}, got {_mode!r}"
+    )
+
+
+def mode() -> str:
+    """The process-wide default kernel mode."""
+    return _mode
+
+
+def set_mode(new_mode: str) -> None:
+    """Set the process-wide default kernel mode."""
+    global _mode
+    if new_mode not in MODES:
+        raise ValueError(f"kernel mode must be one of {MODES}, got {new_mode!r}")
+    _mode = new_mode
+
+
+def resolve(kernel: str | None) -> str:
+    """An explicit ``kernel=`` argument, or the process default."""
+    if kernel is None:
+        return _mode
+    if kernel not in MODES:
+        raise ValueError(f"kernel must be one of {MODES}, got {kernel!r}")
+    return kernel
+
+
+@contextmanager
+def use(new_mode: str):
+    """Temporarily switch the process default (tests, bisection)."""
+    previous = _mode
+    set_mode(new_mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.fs.filesystem import ExtentFilesystem
 from repro.lsm.config import LSMConfig
 from repro.lsm.memtable import KIND_DELETE
@@ -109,12 +110,20 @@ class CompactionPicker:
 class CompactionExecutor:
     """Runs compactions against the filesystem and manifest."""
 
-    def __init__(self, fs: ExtentFilesystem, config: LSMConfig, next_table_id):
+    def __init__(self, fs: ExtentFilesystem, config: LSMConfig, next_table_id,
+                 kernel: str | None = None):
         self.fs = fs
         self.config = config
         self.next_table_id = next_table_id
         self.stats = CompactionStats()
         self.tracer = NULL_TRACER  # flight recorder (repro.obs)
+        # Kernel selection (DESIGN.md §12): the array kernel orders the
+        # k concatenated sorted runs with ONE stable argsort over a
+        # composite (key, reversed-seq) int64 — timsort's galloping
+        # merges the pre-sorted runs instead of re-sorting from
+        # scratch.  The two-pass lexsort is retained as the oracle.
+        self.kernel = kernels.resolve(kernel)
+        self._array_kernels = self.kernel == kernels.ARRAY
 
     def run(self, compaction: Compaction, version: Version) -> None:
         """Execute one compaction job (trivial move or merge)."""
@@ -158,7 +167,7 @@ class CompactionExecutor:
         kinds = np.concatenate([t.kinds for t in inputs])
 
         # Sort by key, newest version first, then keep first occurrence.
-        order = np.lexsort((-seqs, keys))
+        order = self._merge_order(keys, seqs)
         keys, seqs, vseeds, vlens, kinds = (
             keys[order], seqs[order], vseeds[order], vlens[order], kinds[order],
         )
@@ -201,3 +210,32 @@ class CompactionExecutor:
         self.stats.entries_merged += len(keys)
         self.stats.entries_dropped += dropped
         self.stats.tombstones_dropped += tombstones_dropped
+
+    _SEQ_BITS = 40  # composite packing: key << 40 | reversed seq
+
+    def _merge_order(self, keys: np.ndarray, seqs: np.ndarray) -> np.ndarray:
+        """Permutation sorting by (key asc, seq desc).
+
+        Array kernel: pack both columns into one int64 composite —
+        ``key * 2^40 + (2^40-1 - seq)`` — and run a single stable
+        argsort.  The inputs are a concatenation of k sorted runs
+        (each SSTable's keys are strictly increasing, so each run is
+        strictly increasing in the composite too), which timsort's run
+        detection merges in near-linear time.  The permutation is
+        identical to the lexsort oracle: the composite is strictly
+        monotone in (key, -seq), and both sorts are stable, so ties
+        (equal key and seq) resolve to original order either way.
+        Falls back to lexsort when a column could overflow the packing
+        (keys >= 2^22 or seqs >= 2^40 — far beyond any workload here).
+        """
+        if self._array_kernels and keys.size:
+            seq_span = 1 << self._SEQ_BITS
+            if (
+                int(keys.min()) >= 0
+                and int(keys.max()) < (1 << 22)
+                and int(seqs.min()) >= 0
+                and int(seqs.max()) < seq_span
+            ):
+                comp = keys * seq_span + (seq_span - 1 - seqs)
+                return np.argsort(comp, kind="stable")
+        return np.lexsort((-seqs, keys))

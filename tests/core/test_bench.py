@@ -45,3 +45,55 @@ def test_profile_cli_smoke(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "fig2-update-btree" in out
     assert out_path.read_text().startswith("profile of fig2-update-btree")
+
+
+def test_cases_glob_filters_grid():
+    from repro.bench import run_suite
+
+    suite = run_suite("small", repeat=1, cases_glob="fig2-update-pool4-*")
+    names = [case["name"] for case in suite["cases"]]
+    assert names == ["fig2-update-pool4-lsm", "fig2-update-pool4-btree"]
+    suite = run_suite("small", repeat=1, cases_glob="no-such-cell")
+    assert suite["cases"] == []
+
+
+def test_machine_metadata_recorded_and_mismatch_warned():
+    from repro.bench import check_regression, machine_metadata
+
+    meta = machine_metadata()
+    assert meta["numpy"] and meta["python"] and meta["cpu_count"] >= 1
+    report = {"schema": 2, "suites": {}, "machine": meta}
+    other = dict(meta, node="elsewhere", cpu_count=1)
+    baseline = {"schema": 2, "suites": {}, "machine": other}
+    problems, warnings = check_regression(report, baseline)
+    assert not problems
+    assert any("different machine" in w for w in warnings)
+    # same machine: no warning
+    problems, warnings = check_regression(report, {"schema": 2, "suites": {},
+                                                   "machine": dict(meta)})
+    assert not problems and not warnings
+
+
+def test_profile_fleet_path():
+    table = profile_case(Engine.LSM, "small", nclients=4, nshards=2, top=5)
+    assert "fleet path" in table
+    assert "shards2" in table
+
+
+def test_bench_cli_cases_and_suite(capsys, tmp_path):
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--smoke", "--repeat", "1", "--suite", "perf",
+                 "--cases", "fig2-update-lsm", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig2-update-lsm" in out
+    assert "pool4" not in out  # filtered away
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["suite"] == "perf"
+    assert report["cases_glob"] == "fig2-update-lsm"
+    assert "machine" in report
+    assert "trace_overhead" not in report  # filtered runs skip the probe
+    # an empty filter is an error, not an empty baseline
+    assert main(["bench", "--smoke", "--repeat", "1",
+                 "--cases", "nothing-matches", "--out", str(out_path)]) == 2

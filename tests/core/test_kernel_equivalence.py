@@ -1,0 +1,62 @@
+"""Full-experiment equivalence of the array kernels and scalar oracles.
+
+The strongest pin in the oracle pattern (DESIGN.md §12): whole
+experiments run under ``REPRO_KERNELS=scalar`` and ``=array`` must
+produce byte-identical simulated results — every sample, SMART
+counter, latency percentile and per-client op count.  Wall-clock
+fields are the only thing allowed to differ.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import kernels
+from repro.core.experiment import Engine, ExperimentSpec, run_experiment
+from repro.units import MIB
+
+FAST = dict(
+    capacity_bytes=24 * MIB,
+    duration_capacity_writes=1.0,
+    sample_interval=0.05,
+    max_ops=12_000,
+)
+
+
+def _fingerprint(result) -> str:
+    record = result.to_dict()
+    record.pop("load_seconds")  # host wall time: the only legitimate delta
+    record.pop("run_seconds")
+    return json.dumps(record, sort_keys=True, default=repr)
+
+
+def _run(spec: ExperimentSpec, kernel: str) -> str:
+    with kernels.use(kernel):
+        return _fingerprint(run_experiment(spec))
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("engine", [Engine.LSM, Engine.BTREE])
+    def test_closed_loop_identical(self, engine):
+        spec = ExperimentSpec(engine=engine, **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
+    def test_pooled_identical(self):
+        spec = ExperimentSpec(engine=Engine.LSM, nclients=4, **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
+    def test_fleet_identical(self):
+        spec = ExperimentSpec(engine=Engine.LSM, nshards=2, nclients=4, **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
+    def test_kernel_mode_not_in_stable_hash(self):
+        # Kernels must never change simulated results, so they must
+        # not change a spec's identity either (campaign resume safety).
+        spec = ExperimentSpec(engine=Engine.LSM, **FAST)
+        with kernels.use("scalar"):
+            h_scalar = spec.stable_hash()
+        with kernels.use("array"):
+            h_array = spec.stable_hash()
+        assert h_scalar == h_array

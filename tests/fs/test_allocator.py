@@ -191,3 +191,137 @@ class TestPropertyBased:
                 assert not pages & claimed
                 claimed |= pages
         alloc.check_invariants()
+
+
+def _pair(npages=128, strategy="scatter", seed=5):
+    """A scalar/array allocator pair for oracle-pinned edge cases."""
+    return (
+        ExtentAllocator(npages, strategy=strategy, seed=seed, kernel="scalar"),
+        ExtentAllocator(npages, strategy=strategy, seed=seed, kernel="array"),
+    )
+
+
+def _assert_lockstep(scalar, array):
+    assert scalar.free_extents() == array.free_extents()
+    assert scalar.free_pages == array.free_pages
+    assert scalar.peak_used_pages == array.peak_used_pages
+    scalar.check_invariants()
+    array.check_invariants()
+
+
+class TestEdgeCaseOraclePins:
+    """ISSUE 9 satellite: edge cases pinned scalar-vs-array.
+
+    Each scenario drives the scalar oracle and the array kernel in
+    lockstep and asserts identical free lists, accounting and (where
+    RNG is involved) extent streams.
+    """
+
+    def test_coalescing_across_adjacent_frees(self):
+        # free B, then A, then C where A|B|C are address-adjacent:
+        # the final free list must be one merged run however the
+        # frees are ordered.
+        import itertools as it
+
+        for order in it.permutations(range(3)):
+            scalar, array = _pair(strategy="first-fit")
+            runs = []
+            for alloc in (scalar, array):
+                a = alloc.alloc(10, contiguous=True)[0]
+                b = alloc.alloc(10, contiguous=True)[0]
+                c = alloc.alloc(10, contiguous=True)[0]
+                alloc.alloc(20, contiguous=True)  # pin a neighbour
+                runs.append((a, b, c))
+            assert runs[0] == runs[1]
+            for idx in order:
+                for alloc, run in zip((scalar, array), runs):
+                    alloc.free(*run[idx])
+                _assert_lockstep(scalar, array)
+            assert scalar.free_extents()[0] == (0, 30)
+
+    def test_exhaustion_mid_alloc_with_partial_extents(self):
+        # Fragment the space into single free pages, then ask for more
+        # than exists: both kernels must raise without corrupting
+        # accounting, and a satisfiable scattered request must then
+        # return the identical multi-extent answer.
+        scalar, array = _pair(npages=64, strategy="first-fit")
+        for alloc in (scalar, array):
+            held = alloc.alloc(64)  # everything
+            [(start, n)] = held
+            for page in range(start, start + n, 2):
+                alloc.free(page, 1)  # free alternate pages
+        _assert_lockstep(scalar, array)
+        assert scalar.free_pages == 32
+        for alloc in (scalar, array):
+            with pytest.raises(NoSpaceError):
+                alloc.alloc(33)
+            with pytest.raises(NoSpaceError):
+                alloc.alloc(2, contiguous=True)
+        _assert_lockstep(scalar, array)
+        got_s = scalar.alloc(5)
+        got_a = array.alloc(5)
+        assert got_s == got_a
+        assert all(n == 1 for _, n in got_s)  # partial extents gathered
+        _assert_lockstep(scalar, array)
+
+    def test_carve_splits_at_both_extent_boundaries(self):
+        # Taking from the head, the tail, and the middle of one free
+        # extent exercises all three _carve branches.
+        for take_at in ("head", "tail", "middle"):
+            scalar, array = _pair(npages=100, strategy="first-fit")
+            for alloc in (scalar, array):
+                # leave one free extent [20, 80) surrounded by used space
+                alloc.alloc(100, contiguous=True)
+                alloc.free(20, 60)
+                if take_at == "head":
+                    got = alloc.alloc(10, contiguous=True)
+                    assert got == [(20, 10)]
+                elif take_at == "tail":
+                    # first-fit takes from the head; carve the tail by
+                    # freeing a second, earlier extent the request skips
+                    alloc.free(0, 5)
+                    got = alloc.alloc(5, contiguous=True)
+                    assert got == [(0, 5)]
+                    got = alloc.alloc(60, contiguous=False)
+                else:
+                    got = alloc.alloc(10, contiguous=True)
+                    alloc.free(got[0][0] + 2, 6)  # punch a hole mid-extent
+            _assert_lockstep(scalar, array)
+
+    def test_scatter_stream_identical_under_churn(self):
+        # The strongest pin: the scatter strategy consumes RNG, so the
+        # array kernel must reproduce the exact extent stream, not just
+        # the final free list.
+        scalar, array = _pair(npages=512, strategy="scatter", seed=11)
+        rng = np.random.default_rng(2)
+        held: list[tuple[int, int]] = []
+        for _ in range(400):
+            if held and rng.random() < 0.45:
+                ext = held.pop(int(rng.integers(len(held))))
+                scalar.free(*ext)
+                array.free(*ext)
+            elif scalar.free_pages:
+                want = int(rng.integers(1, min(48, scalar.free_pages) + 1))
+                got_s = scalar.alloc(want)
+                got_a = array.alloc(want)
+                assert got_s == got_a
+                held.extend(got_s)
+        _assert_lockstep(scalar, array)
+
+    def test_free_many_matches_sequential_frees(self):
+        scalar, array = _pair(npages=256, strategy="first-fit")
+        extents_s = scalar.alloc(200)
+        extents_a = array.alloc(200)
+        assert extents_s == extents_a
+        scalar.free_many(extents_s)
+        array.free_many(extents_a)
+        _assert_lockstep(scalar, array)
+        assert scalar.free_extents() == [(0, 256)]
+
+    def test_free_many_double_free_detected(self):
+        for kernel in ("scalar", "array"):
+            alloc = ExtentAllocator(64, kernel=kernel)
+            got = alloc.alloc(16)
+            alloc.free_many(got)
+            with pytest.raises(ConfigError):
+                alloc.free_many(got)
