@@ -1,16 +1,19 @@
 """Wall-clock throughput benchmark and perf-regression harness.
 
 ``repro bench`` measures how fast the simulator itself runs — not the
-simulated metrics, which are pinned elsewhere — on four cells per
-engine: the paper's fig-2 update workload (sequential load + uniform
-updates until host writes reach a capacity multiple, §3.2) on the
-inline runner, a scan-mix variant (25% reads / 25% scans) exercising
-the natively batched read/scan paths (DESIGN.md §7.3), and 4- and
-16-client pooled cells driving the batched event-scheduler client
-(DESIGN.md §7.2; the 16-client cell keeps the event-aware ``until``
-in the deep-interleave regime where per-op engine cost dominates —
-DESIGN.md §8).  Results are written to ``BENCH_throughput.json`` so
-every PR extends a recorded perf trajectory (DESIGN.md §6).
+simulated metrics, which are pinned elsewhere — on a grid of cells:
+the paper's fig-2 update workload (sequential load + uniform updates
+until host writes reach a capacity multiple, §3.2) on the inline
+runner, a scan-mix variant (25% reads / 25% scans) and a read-only
+variant (get-only measured phase) exercising the natively batched
+read/scan paths and the array read kernels (DESIGN.md §7.3, §13), and
+4- and 16-client pooled cells driving the batched event-scheduler
+client — including a pooled LSM scan-mix cell that pins the
+merge-scan kernel under concurrency (DESIGN.md §7.2; the 16-client
+cell keeps the event-aware ``until`` in the deep-interleave regime
+where per-op engine cost dominates — DESIGN.md §8).  Results are
+written to ``BENCH_throughput.json`` so every PR extends a recorded
+perf trajectory (DESIGN.md §6).
 
 ``repro profile`` wraps any one of these cells in cProfile and prints
 the top functions, so perf PRs locate hot spots instead of guessing
@@ -80,6 +83,7 @@ POOL16_CLIENTS = 16
 WORKLOADS: dict[str, dict] = {
     "update": {},
     "scanmix": {"read_fraction": 0.25, "scan_fraction": 0.25},
+    "readonly": {"read_fraction": 1.0},
 }
 
 
@@ -117,12 +121,19 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
     target = int(spec.duration_capacity_writes * spec.capacity_bytes)
     run_clock_start = clock.now
     stop_when = lambda: collector.host_bytes_written() >= target  # noqa: E731
+    # A write-free measured phase (e.g. the readonly cell) never moves
+    # the host-bytes-written stop condition; bound it by op count
+    # instead, sized like the write target (same ops a pure-update run
+    # of the cell would issue).
+    max_ops = None
+    if workload.read_fraction + workload.scan_fraction >= 1.0:
+        max_ops = max(1, target // workload.value_bytes)
     pool = None
     if nclients > 1:
         pool = ClientPool(
             store, workload, nclients, seed=spec.seed, stop_when=stop_when,
             sample_interval=spec.sample_interval, on_sample=collector.sample,
-            ssd=ssd, batch=batch,
+            max_ops=max_ops, ssd=ssd, batch=batch,
             tracer=tracer if tracer is not None else NULL_TRACER,
         )
         outcome = pool.run()
@@ -130,7 +141,7 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
         outcome = run_workload(
             store, workload, seed=spec.seed, stop_when=stop_when,
             sample_interval=spec.sample_interval, on_sample=collector.sample,
-            batch=batch,
+            max_ops=max_ops, batch=batch,
         )
     wall_done = time.perf_counter()
 
@@ -175,16 +186,21 @@ def bench_case(engine: Engine, scale: Scale, batch: bool = True,
     }
 
 
-#: The bench grid: (workload_name, nclients, spec overrides).  The
-#: scan-mix cell exercises the natively batched read/scan paths; the
-#: pooled cells exercise the batched multi-client driver at moderate
-#: and deep queue depth.  Pooled speedups compare the measured phase
-#: only (the load is shared).
-CELLS: tuple[tuple[str, int, dict], ...] = (
-    ("update", 1, WORKLOADS["update"]),
-    ("scanmix", 1, WORKLOADS["scanmix"]),
-    ("update", POOL_CLIENTS, WORKLOADS["update"]),
-    ("update", POOL16_CLIENTS, WORKLOADS["update"]),
+#: The bench grid: (workload_name, nclients, spec overrides, engines).
+#: ``engines`` restricts a cell to a subset of :data:`ENGINES` (None
+#: means every engine).  The scan-mix and readonly cells exercise the
+#: natively batched read/scan paths and the array read kernels
+#: (DESIGN.md §13); the pooled cells exercise the batched multi-client
+#: driver at moderate and deep queue depth, with the pooled scan-mix
+#: cell pinning the LSM merge-scan kernel under concurrency.  Pooled
+#: speedups compare the measured phase only (the load is shared).
+CELLS: tuple[tuple[str, int, dict, tuple[Engine, ...] | None], ...] = (
+    ("update", 1, WORKLOADS["update"], None),
+    ("scanmix", 1, WORKLOADS["scanmix"], None),
+    ("readonly", 1, WORKLOADS["readonly"], None),
+    ("update", POOL_CLIENTS, WORKLOADS["update"], None),
+    ("scanmix", POOL_CLIENTS, WORKLOADS["scanmix"], (Engine.LSM,)),
+    ("update", POOL16_CLIENTS, WORKLOADS["update"], None),
 )
 
 
@@ -221,7 +237,7 @@ def run_suite(scale_name: str, repeat: int = 2, cases_glob: str | None = None,
     unlucky scalar run); the two drivers' sim fingerprints are
     asserted identical on the spot.  ``cases_glob`` restricts the grid
     to cells whose name matches the glob (DESIGN.md §8.3), so perf
-    iteration on one cell doesn't pay for all eight; ``warmup`` runs
+    iteration on one cell doesn't pay for the whole grid; ``warmup`` runs
     that many unrecorded batched+scalar passes per cell first (page
     cache, allocator pools and JIT-ish numpy dispatch settle before
     anything is timed — the perf suite's noise guard).
@@ -229,7 +245,9 @@ def run_suite(scale_name: str, repeat: int = 2, cases_glob: str | None = None,
     scale = SCALES[scale_name]
     cases = []
     for engine in ENGINES:
-        for workload_name, nclients, overrides in CELLS:
+        for workload_name, nclients, overrides, engines in CELLS:
+            if engines is not None and engine not in engines:
+                continue
             name = cell_name(engine, workload_name, nclients)
             if cases_glob and not fnmatch.fnmatch(name, cases_glob):
                 continue

@@ -161,9 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "decide."
         ),
     )
+    from repro.bench import WORKLOADS
+
     profile.add_argument("--engine", choices=[e.value for e in Engine],
                          default="lsm")
-    profile.add_argument("--workload", choices=["update", "scanmix"],
+    profile.add_argument("--workload", choices=sorted(WORKLOADS),
                          default="update")
     profile.add_argument("--clients", type=int, default=1,
                          help="1 = inline runner; >1 = pooled cell")

@@ -1,8 +1,10 @@
 """Kernel selection: whole-array numpy kernels vs their scalar oracles.
 
 The device-write tail (extent carving, file-page resolution, FTL page
-invalidation) and the LSM compaction merge each exist in two
-implementations (DESIGN.md §12):
+invalidation), the LSM compaction merge (DESIGN.md §12), and the read
+tail — the LSM scan merge, bloom/index probe planning, the channelized
+read fold, and the B+Tree leaf walk (DESIGN.md §13) — each exist in
+two implementations:
 
 * **array** (default): whole-batch numpy kernels — the production path;
 * **scalar**: the original per-item implementations, retained verbatim

@@ -32,6 +32,7 @@ from bisect import bisect_left
 
 import numpy as np
 
+from repro import kernels
 from repro.core.clock import VirtualClock
 from repro.errors import ConfigError, NoSpaceError, StoreClosedError
 from repro.flash.ssd import mean_write_backlog
@@ -39,13 +40,26 @@ from repro.fs.filesystem import ExtentFilesystem
 from repro.kv.api import KVStore, as_int_list
 from repro.kv.stats import KVStats
 from repro.kv.values import Value
+from repro.lsm.bloom import hash_keys
 from repro.lsm.compaction import CompactionExecutor, CompactionPicker
 from repro.lsm.config import LSMConfig
-from repro.lsm.memtable import KIND_DELETE, KIND_PUT, MemTable
+from repro.lsm.memtable import (KIND_DELETE, KIND_PUT, SCAN_KEY_SHIFT,
+                                SCAN_KEY_SPAN, SCAN_KIND_BIT, SCAN_SEQ_SPAN,
+                                MemTable)
 from repro.lsm.sstable import split_into_tables
 from repro.lsm.version import Version
 from repro.lsm.wal import WriteAheadLog
 from repro.obs.tracer import NULL_TRACER
+
+#: Composite packing for the array scan merge (DESIGN.md §13): the
+#: compaction kernel's (key asc, seq desc) ordering plus a low kind
+#: bit, pre-packed per source (``MemTable.sorted_columns`` /
+#: ``SSTable.scan_comp``) so one stable argsort over concatenated
+#: cached columns reproduces the scalar heap's pop order.  Sources
+#: whose keys/seqs could overflow the packing fall back to the scalar
+#: merge.
+_SEQ_SPAN = SCAN_SEQ_SPAN
+_KEY_SPAN = SCAN_KEY_SPAN
 
 
 class LSMStore(KVStore):
@@ -54,7 +68,8 @@ class LSMStore(KVStore):
     name = "lsm"
 
     def __init__(self, fs: ExtentFilesystem, clock: VirtualClock,
-                 config: LSMConfig | None = None):
+                 config: LSMConfig | None = None,
+                 kernel: str | None = None):
         self.fs = fs
         self.clock = clock
         self.config = config or LSMConfig()
@@ -62,9 +77,17 @@ class LSMStore(KVStore):
         self._next_seq = 1  # global write sequence (int, so batches can reserve ranges)
         self._table_ids = itertools.count(1)
         self._wal_ids = itertools.count(1)
+        # Kernel selection (DESIGN.md §12/§13): the array mode runs the
+        # batched scan merge and read-probe planning as numpy kernels;
+        # scalar retains the per-op oracles.  Resolved once and handed
+        # to the compaction executor so one store runs one mode.
+        self.kernel = kernels.resolve(kernel)
+        self._array_kernels = self.kernel == kernels.ARRAY
         self.version = Version(self.config)
         self.picker = CompactionPicker(self.config)
-        self.executor = CompactionExecutor(self.fs, self.config, self._next_table_id)
+        self.executor = CompactionExecutor(self.fs, self.config,
+                                           self._next_table_id,
+                                           kernel=self.kernel)
         self.memtable = MemTable(self.config)
         self.wal = WriteAheadLog(self.fs, self.config, next(self._wal_ids)) \
             if self.config.wal_enabled else None
@@ -294,7 +317,10 @@ class LSMStore(KVStore):
                     resolved[i] = entry
                 else:
                     miss_idx.append(i)
-            plans = self._plan_table_probes(keys_list, miss_idx)
+            if self._array_kernels:
+                plans = self._plan_table_probes_array(keys_list, miss_idx)
+            else:
+                plans = self._plan_table_probes(keys_list, miss_idx)
         tracer = self.tracer
         tr_on = tracer.enabled
         done = 0
@@ -379,11 +405,59 @@ class LSMStore(KVStore):
                 if table is not None:
                     by_table.setdefault(id(table), (table, []))[1].append(j)
             for table, js in by_table.values():
-                sel = np.fromiter((int(miss_keys[j]) for j in js),
-                                  dtype=np.int64, count=len(js))
-                for j, ok in zip(js, table.may_contain_many(sel).tolist()):
+                for j, ok in zip(js, table.may_contain_many(
+                        miss_keys[js]).tolist()):
                     if ok:
                         plans[miss_idx[j]].append(table)
+        return plans
+
+    def _plan_table_probes_array(self, keys_list: list[int],
+                                 miss_idx: list[int]) -> dict[int, list]:
+        """Array kernel for :meth:`_plan_table_probes` (DESIGN.md §13).
+
+        Produces the identical per-op candidate lists — the bloom
+        verdict per (key, table) and the sorted-level table assignment
+        are bit-equal to the scalar planner's — but the keys are hashed
+        once for the whole round (:func:`~repro.lsm.bloom.hash_keys`,
+        shared across every table's filter) and the sorted levels
+        resolve through :meth:`~repro.lsm.version.Version.
+        find_table_indexes` plus one stable argsort per level instead
+        of a per-key Python bucketing loop.
+        """
+        plans: dict[int, list] = {i: [] for i in miss_idx}
+        if not miss_idx:
+            return plans
+        levels = self.version.levels
+        miss_keys = np.fromiter((keys_list[i] for i in miss_idx),
+                                dtype=np.int64, count=len(miss_idx))
+        h1, h2 = hash_keys(miss_keys)
+        for table in levels[0]:
+            for j in np.nonzero(
+                    table.may_contain_hashed(miss_keys, h1, h2))[0].tolist():
+                plans[miss_idx[j]].append(table)
+        for level in range(1, self.config.num_levels):
+            tables = levels[level]
+            if not tables:
+                continue
+            idxs = self.version.find_table_indexes(level, miss_keys)
+            hit = np.nonzero(idxs >= 0)[0]
+            if not len(hit):
+                continue
+            # Group keys by assigned table: sort the hit positions by
+            # table index, then walk the group boundaries.  Each key
+            # maps to at most one table per level, so plan order per
+            # key is level order regardless of group order.
+            order = hit[np.argsort(idxs[hit], kind="stable")]
+            tidx = idxs[order]
+            starts = np.nonzero(
+                np.r_[True, tidx[1:] != tidx[:-1]])[0].tolist()
+            starts.append(len(tidx))
+            for s, e in zip(starts, starts[1:]):
+                table = tables[int(tidx[s])]
+                js = order[s:e]
+                ok = table.may_contain_hashed(miss_keys[js], h1[js], h2[js])
+                for j in js[ok].tolist():
+                    plans[miss_idx[j]].append(table)
         return plans
 
     def scan_many(self, start_keys, count: int, until: float | None = None,
@@ -408,10 +482,18 @@ class LSMStore(KVStore):
         stats = self._stats
         append = None if latencies is None else latencies.append
         keys_list = as_int_list(start_keys)
-        snapshots = [self.memtable.sorted_items()]
-        for memtable, _wal in self._immutables:
-            snapshots.append(memtable.sorted_items())
         tables = [table for _level, table in self.version.all_tables()]
+        # Array kernel (DESIGN.md §13): shared per-source column
+        # arrays, merged per scan by one composite-key argsort.  None
+        # means the packing could overflow — fall back to the scalar
+        # heap merge, which is also the pinned oracle.
+        sources = self._scan_merge_sources(tables) \
+            if self._array_kernels else None
+        snapshots = None
+        if sources is None:
+            snapshots = [self.memtable.sorted_items()]
+            for memtable, _wal in self._immutables:
+                snapshots.append(memtable.sorted_items())
         tracer = self.tracer
         tr_on = tracer.enabled
         done = 0
@@ -420,8 +502,12 @@ class LSMStore(KVStore):
                 if tr_on:
                     t0 = clock.now
                     tracer.op_begin()
-                latency = cpu + self._scan_once(keys_list[i], count,
-                                                snapshots, tables)
+                if sources is not None:
+                    latency = cpu + self._scan_once_array(keys_list[i], count,
+                                                          sources)
+                else:
+                    latency = cpu + self._scan_once(keys_list[i], count,
+                                                    snapshots, tables)
                 stats.scans += 1
                 if tr_on:
                     tracer.op_end("scan", t0, latency)
@@ -504,6 +590,157 @@ class LSMStore(KVStore):
             offset = int(table._offsets[first])
             nbytes = int(table._offsets[end]) - offset
             read_latency, _ = self.fs.pread(
+                table.filename, offset, min(nbytes, table.data_bytes - offset))
+            latency += read_latency
+        return latency
+
+    def _scan_merge_sources(self, tables: list) -> list | None:
+        """Per-source column arrays for the array scan merge, or None.
+
+        Sources are ordered exactly like the scalar merge enters them
+        into its heap: the active memtable, the immutables in rotation
+        order, then the manifest's tables in :meth:`Version.all_tables`
+        order (the order only matters for the per-table read charges —
+        sequence numbers are globally unique, so the merge order itself
+        has no ties).  Returns None when any key or the sequence
+        counter could overflow the composite packing; the caller then
+        uses the scalar heap merge.
+        """
+        if self._next_seq > _SEQ_SPAN:
+            return None
+        sources: list = []
+        memtables = [self.memtable]
+        memtables.extend(m for m, _wal in self._immutables)
+        for memtable in memtables:
+            keys, comp, vlens = memtable.sorted_columns()
+            if len(keys) and (int(keys[0]) < 0 or int(keys[-1]) >= _KEY_SPAN):
+                return None
+            sources.append((comp, vlens, None))
+        for table in tables:
+            if table.min_key < 0 or table.max_key >= _KEY_SPAN:
+                return None
+            sources.append((table.scan_comp, table.vlens, table))
+        return sources
+
+    def _scan_once_array(self, start_key: int, count: int,
+                         sources: list) -> float:
+        """Array kernel for :meth:`_scan_once` (DESIGN.md §13).
+
+        One composite-key stable argsort over a window of ``count + 1``
+        entries per source replaces the Python heap: the sorted prefix
+        below the smallest out-of-window composite is exactly the
+        scalar merge's pop sequence, so duplicate suppression (first
+        occurrence per key), result counting (first-occurrence puts),
+        and the stop position (the pop that emits result ``count``)
+        are computed on that prefix with masks.  Windows double and the
+        merge recomputes in the rare case the fixed window cannot
+        prove ``count`` results (duplicate/tombstone pile-ups).  The
+        scalar invariants carried over bit for bit: every active table
+        consumes at least its first entry (the initial one-ahead push),
+        a table's consumed window ends at ``first + pops + 1`` capped
+        to the table, and the windows are charged as one sequential
+        read per table in source order.
+        """
+        active: list = []      # (pos, comp, vlens) per active source
+        charged: list = []     # (table, first, source index) in order
+        in_span = 0 < start_key < _KEY_SPAN
+        target = start_key << 41 if in_span else 0
+        for comp, vlens, table in sources:
+            if table is not None:
+                if table.max_key < start_key:
+                    continue
+                # comp >= key << 41 exactly when key >= start_key, so
+                # the composite bound finds the scalar start position.
+                pos = int(comp.searchsorted(target)) if in_span else 0
+                charged.append((table, pos, len(active)))
+            else:
+                n = len(comp)
+                if in_span:
+                    pos = int(comp.searchsorted(target))
+                elif start_key < _KEY_SPAN:
+                    pos = 0
+                else:
+                    pos = n
+                if pos >= n:
+                    continue
+            active.append((pos, comp, vlens))
+
+        pops = None
+        if count > 0 and active:
+            window = count + 1
+            while True:
+                boundary = None
+                parts: list = []
+                cumlens: list = []
+                total = 0
+                for pos, comp, _vlens in active:
+                    nentries = len(comp)
+                    end = pos + window
+                    if end < nentries:
+                        b = int(comp[end])
+                        if boundary is None or b < boundary:
+                            boundary = b
+                    else:
+                        end = nentries
+                    parts.append((pos, end))
+                    total += end - pos
+                    cumlens.append(total)
+                ccomp = np.concatenate(
+                    [src[1][p:e] for src, (p, e) in zip(active, parts)])
+                order = np.argsort(ccomp, kind="stable")
+                scomp = ccomp[order]
+                # Only the prefix below the smallest out-of-window
+                # composite is provably the true merge order: a deeper
+                # entry of a truncated source could interleave later.
+                limit = len(scomp) if boundary is None else int(
+                    scomp.searchsorted(boundary))
+                swin = scomp[:limit]
+                hi = swin >> SCAN_KEY_SHIFT
+                newkey = np.empty(limit, dtype=bool)
+                if limit:
+                    newkey[0] = True
+                    np.not_equal(hi[1:], hi[:-1], out=newkey[1:])
+                # A pop emits a result iff it is the first (newest-seq)
+                # occurrence of its key and is a put — the scalar
+                # last_key/KIND_PUT rule.  KIND_PUT is the packed low
+                # bit's zero value.
+                emit = newkey & ((swin & SCAN_KIND_BIT) == KIND_PUT)
+                cum = np.cumsum(emit)
+                stop = int(cum.searchsorted(count))
+                if stop < limit:
+                    npop = stop + 1
+                    break
+                if boundary is None:
+                    npop = limit  # sources exhausted before count
+                    break
+                window *= 2
+
+            if npop:
+                psel = order[:npop]
+                emitted = emit[:npop]
+                nemit = int(emitted.sum())
+                if nemit:
+                    cvlens = np.concatenate(
+                        [src[2][p:e] for src, (p, e) in zip(active, parts)])
+                    self._stats.user_bytes_read += (
+                        nemit * self.config.key_bytes
+                        + int(cvlens[psel[emitted]].sum()))
+                # Concatenation index -> source index, then pops per
+                # source (how far each scalar cursor advanced).
+                src = np.searchsorted(cumlens, psel, side="right")
+                pops = np.bincount(src, minlength=len(active))
+
+        latency = 0.0
+        pread = self.fs.pread
+        for table, first, si in charged:
+            popped = int(pops[si]) if pops is not None else 0
+            end = first + popped + 1
+            nentries = len(table.keys)
+            if end > nentries:
+                end = nentries
+            offset = int(table._offsets[first])
+            nbytes = int(table._offsets[end]) - offset
+            read_latency, _ = pread(
                 table.filename, offset, min(nbytes, table.data_bytes - offset))
             latency += read_latency
         return latency

@@ -12,9 +12,10 @@ def test_bench_grid_covers_both_pooled_depths():
     nclients = [cell[1] for cell in CELLS]
     assert 4 in nclients
     assert POOL16_CLIENTS in nclients
-    for _name, n, overrides in CELLS:
+    for _name, n, overrides, engines in CELLS:
         assert isinstance(overrides, dict)
         assert n >= 1
+        assert engines is None or all(isinstance(e, Engine) for e in engines)
 
 
 def test_pool16_cell_batched_matches_scalar_fingerprint():

@@ -47,6 +47,27 @@ class TestKernelEquivalence:
         spec = ExperimentSpec(engine=Engine.LSM, nclients=4, **FAST)
         assert _run(spec, "scalar") == _run(spec, "array")
 
+    @pytest.mark.parametrize("engine", [Engine.LSM, Engine.BTREE])
+    def test_read_only_identical(self, engine):
+        # Pure-get measured phase: exercises the probe-planning and
+        # channelized-read kernels with no write interference.
+        spec = ExperimentSpec(engine=engine, read_fraction=1.0, **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
+    @pytest.mark.parametrize("engine", [Engine.LSM, Engine.BTREE])
+    def test_scan_mix_identical(self, engine):
+        # Scan-heavy mix: the LSM merge-scan / B+Tree leaf-walk
+        # kernels (DESIGN.md §13) against their scalar oracles.
+        spec = ExperimentSpec(engine=engine, read_fraction=0.25,
+                              scan_fraction=0.25, **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
+    def test_pooled_scan_mix_identical(self):
+        spec = ExperimentSpec(engine=Engine.LSM, nclients=4,
+                              read_fraction=0.25, scan_fraction=0.25,
+                              distribution="zipfian", **FAST)
+        assert _run(spec, "scalar") == _run(spec, "array")
+
     def test_fleet_identical(self):
         spec = ExperimentSpec(engine=Engine.LSM, nshards=2, nclients=4, **FAST)
         assert _run(spec, "scalar") == _run(spec, "array")

@@ -1,0 +1,158 @@
+"""The array channelized-read fold vs its scalar oracle (DESIGN.md §13).
+
+``SSD._read_channelized_array`` must reproduce the per-lane scalar loop
+bit for bit: same returned latency, same per-channel busy horizons,
+same ``busy_max`` — including under a degrade window and at every
+striping shape (npages below, equal to, and far above the channel
+count).  Comparisons are ``==`` with no tolerance, per the oracle
+pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.faults.plan import FaultPlan
+from repro.flash.ssd import SSD
+from repro.rng import substream
+from tests.conftest import make_tiny_config
+
+
+def make_channel_ssd(kernel: str, **config_overrides) -> SSD:
+    ssd = SSD(make_tiny_config(**config_overrides), VirtualClock(),
+              kernel=kernel)
+    ssd.enable_channel_timing()
+    if kernel == "array":
+        # Force every read through the fold, including the small reads
+        # the production dispatcher routes to the shared scalar loop.
+        ssd._read_fold_min = 1
+    return ssd
+
+
+def timeline_state(ssd: SSD) -> tuple:
+    channels = ssd._channels
+    return (list(channels.busy), list(channels.write_busy),
+            channels.busy_max, channels.write_max)
+
+
+def assert_reads_identical(scalar: SSD, array: SSD, reads) -> None:
+    for start, npages in reads:
+        lat_s = scalar.read_range(start, npages)
+        lat_a = array.read_range(start, npages)
+        assert lat_a == lat_s, (start, npages)
+        assert timeline_state(array) == timeline_state(scalar), (start, npages)
+
+
+class TestReadChannelizedEquivalence:
+    @pytest.mark.parametrize("npages", [1, 3, 7, 8, 9, 16, 61, 256])
+    def test_striping_shapes_identical(self, npages):
+        """Below, at, and above the channel count (8), aligned or not."""
+        scalar = make_channel_ssd("scalar")
+        array = make_channel_ssd("array")
+        assert_reads_identical(scalar, array,
+                               [(5, npages), (0, npages), (npages, npages)])
+
+    def test_zero_and_negative_page_reads_are_free(self):
+        for kernel in ("scalar", "array"):
+            ssd = make_channel_ssd(kernel)
+            before = timeline_state(ssd)
+            assert ssd.read_range(0, 0) == 0.0
+            assert timeline_state(ssd) == before
+
+    def test_single_channel_device(self):
+        scalar = make_channel_ssd("scalar", channels=1)
+        array = make_channel_ssd("array", channels=1)
+        assert_reads_identical(scalar, array, [(0, 1), (3, 5), (0, 40)])
+
+    def test_randomized_interleaving_identical(self):
+        """Reads and writes interleaved: the fold sees busy channels."""
+        scalar = make_channel_ssd("scalar")
+        array = make_channel_ssd("array")
+        rng = substream(7, "read-fold")
+        for _ in range(300):
+            start = int(rng.integers(0, 512))
+            npages = int(rng.integers(1, 48))
+            if rng.random() < 0.3:
+                assert scalar.write_range(start, npages) == \
+                    array.write_range(start, npages)
+            else:
+                assert_reads_identical(scalar, array, [(start, npages)])
+            if rng.random() < 0.2:
+                dt = float(rng.random()) * 1e-3
+                scalar.clock.advance(dt)
+                array.clock.advance(dt)
+
+    def test_busy_max_monotone_and_tracks_oracle(self):
+        ssd = make_channel_ssd("array")
+        rng = substream(11, "busy-max")
+        last = ssd._channels.busy_max
+        for _ in range(200):
+            ssd.read_range(int(rng.integers(0, 256)), int(rng.integers(1, 32)))
+            channels = ssd._channels
+            assert channels.busy_max >= last
+            assert channels.busy_max == max(channels.busy)
+            last = channels.busy_max
+            if rng.random() < 0.3:
+                ssd.clock.advance(float(rng.random()) * 1e-3)
+
+
+class TestDegradeWindowEquivalence:
+    def make_pair(self, start: float, seconds: float,
+                  factor: float = 8.0) -> tuple[SSD, SSD]:
+        pair = []
+        for kernel in ("scalar", "array"):
+            ssd = make_channel_ssd(kernel)
+            ssd.faults = FaultPlan(
+                {"degrade": {"channel": 2, "start": start,
+                             "seconds": seconds, "factor": factor}},
+                substream(3, f"degrade-{kernel}"),
+            )
+            pair.append(ssd)
+        return pair[0], pair[1]
+
+    def test_inside_window_scales_the_degraded_channel(self):
+        scalar, array = self.make_pair(start=0.0, seconds=1.0)
+        assert_reads_identical(scalar, array, [(0, 16), (2, 3), (7, 9)])
+        # The window really fired: the degraded channel's horizon leads.
+        busy = scalar._channels.busy
+        assert busy[2] == max(busy)
+
+    def test_boundary_now_equals_start_is_inside(self):
+        """The window is half-open [start, end): now == start scales."""
+        scalar, array = self.make_pair(start=0.5, seconds=1.0)
+        for ssd in (scalar, array):
+            ssd.clock.advance(0.5)
+        assert_reads_identical(scalar, array, [(0, 16), (1, 7)])
+        busy = scalar._channels.busy
+        assert busy[2] == max(busy)
+
+    def test_boundary_now_equals_end_is_outside(self):
+        scalar, array = self.make_pair(start=0.0, seconds=0.25)
+        for ssd in (scalar, array):
+            ssd.clock.advance(0.25)
+        assert_reads_identical(scalar, array, [(0, 16), (1, 7)])
+        # No scaling: every lane of an aligned 16-page read adds the
+        # same service time, so no channel's horizon stands out.
+        busy = scalar._channels.busy
+        assert busy[2] == busy[3]
+
+    def test_before_and_after_window_identical(self):
+        scalar, array = self.make_pair(start=0.5, seconds=0.1)
+        assert_reads_identical(scalar, array, [(0, 16)])  # before
+        for ssd in (scalar, array):
+            ssd.clock.advance(1.0)
+        assert_reads_identical(scalar, array, [(0, 16)])  # after
+
+
+class TestDispatchThreshold:
+    def test_small_reads_use_shared_scalar_loop(self):
+        ssd = SSD(make_tiny_config(), VirtualClock(), kernel="array")
+        ssd.enable_channel_timing()
+        assert ssd._read_fold_min > 1
+        # Below the threshold both modes literally run the same code;
+        # the result must still match a scalar-kernel device exactly.
+        scalar = make_channel_ssd("scalar")
+        for start, npages in [(0, 1), (3, 2), (9, 4)]:
+            assert ssd.read_range(start, npages) == \
+                scalar.read_range(start, npages)
